@@ -1,0 +1,71 @@
+// Command ioexp regenerates the paper's tables and figures from the
+// simulator.
+//
+// Usage:
+//
+//	ioexp -exp table2            # one artifact, full scale
+//	ioexp -exp all -scale quick  # everything, smoke-test sizes
+//
+// Artifact ids: table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 table4
+// table5 (plus any registered ablations; -list shows all).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pario/internal/exp"
+)
+
+func main() {
+	var (
+		id    = flag.String("exp", "all", "experiment id, or 'all'")
+		scale = flag.String("scale", "full", "'full' (paper sizes) or 'quick' (smoke test)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var s exp.Scale
+	switch *scale {
+	case "full":
+		s = exp.Full
+	case "quick":
+		s = exp.Quick
+	default:
+		fmt.Fprintf(os.Stderr, "ioexp: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	run := func(e *exp.Experiment) {
+		start := time.Now()
+		fmt.Printf("== %s: %s [%s scale] ==\n", e.ID, e.Title, s)
+		fmt.Printf("paper: %s\n\n", e.Expect)
+		if err := e.Run(os.Stdout, s); err != nil {
+			fmt.Fprintf(os.Stderr, "ioexp: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *id == "all" {
+		for _, e := range exp.All() {
+			run(e)
+		}
+		return
+	}
+	e := exp.ByID(*id)
+	if e == nil {
+		fmt.Fprintf(os.Stderr, "ioexp: unknown experiment %q (use -list)\n", *id)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,122 @@
+// Command iogen generates a synthetic I/O workload and replays it against
+// a simulated machine under each I/O interface — a microbenchmark driver
+// for the machine models.
+//
+// Usage:
+//
+//	iogen -pattern strided -total 64M -req 4K -stride 60K -procs 8
+//	iogen -pattern random -total 16M -req 64K -writefrac 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pario/internal/core"
+	"pario/internal/machine"
+	"pario/internal/pio"
+	"pario/internal/sim"
+	"pario/internal/workload"
+)
+
+func main() {
+	var (
+		pattern   = flag.String("pattern", "sequential", "sequential | strided | random | hotspot")
+		total     = flag.String("total", "16M", "total volume (K/M/G suffixes)")
+		req       = flag.String("req", "64K", "request size")
+		stride    = flag.String("stride", "0", "gap between strided requests")
+		writeFrac = flag.Float64("writefrac", 0, "fraction of writes")
+		procs     = flag.Int("procs", 4, "processes replaying the stream concurrently")
+		ionodes   = flag.Int("ionodes", 12, "Paragon I/O partition: 12, 16 or 64")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	pat, ok := map[string]workload.Pattern{
+		"sequential": workload.Sequential,
+		"strided":    workload.Strided,
+		"random":     workload.Random,
+		"hotspot":    workload.Hotspot,
+	}[strings.ToLower(*pattern)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "iogen: unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+	spec := workload.Spec{
+		Pattern:      pat,
+		TotalBytes:   parseSize(*total),
+		RequestBytes: parseSize(*req),
+		Stride:       parseSize(*stride),
+		WriteFrac:    *writeFrac,
+		Seed:         *seed,
+	}
+	reqs, err := spec.Requests()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iogen: %v\n", err)
+		os.Exit(1)
+	}
+	cfg, err := machine.ParagonLarge(*ionodes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iogen: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("workload: %s, %d requests of <=%s, %.0f%% writes, %d procs on %s\n\n",
+		pat, len(reqs), *req, 100**writeFrac, *procs, cfg.Name)
+	fmt.Printf("%-12s %12s %14s %14s\n", "interface", "exec", "per-proc I/O", "app MB/s")
+	for _, iface := range []pio.ClientParams{cfg.Fortran, cfg.Passion, cfg.Native} {
+		rep, err := replay(cfg, iface, *procs, reqs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iogen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-12s %11.2fs %13.2fs %14.2f\n",
+			iface.Name, rep.ExecSec, rep.IOMaxSec, rep.BandwidthMBs())
+	}
+}
+
+// replay runs the request stream on each of procs ranks (each rank has a
+// private copy of the stream in its own file).
+func replay(cfg *machine.Config, iface pio.ClientParams, procs int, reqs []workload.Request) (core.Report, error) {
+	sys, err := core.NewSystem(cfg, procs)
+	if err != nil {
+		return core.Report{}, err
+	}
+	extent := workload.MaxExtent(reqs)
+	wall, err := sys.RunRanks(func(p *sim.Proc, rank int) {
+		f, ferr := sys.FS.Create("gen."+strconv.Itoa(rank), sys.DefaultLayout(), extent)
+		if ferr != nil {
+			panic(ferr)
+		}
+		h := sys.Client(rank, iface).Open(p, f)
+		workload.Replay(p, h, reqs, 0, cfg.CPUFlops)
+		h.Close(p)
+	})
+	if err != nil {
+		return core.Report{}, err
+	}
+	return sys.MakeReport(wall), nil
+}
+
+// parseSize parses 64, 64K, 4M, 1G.
+func parseSize(s string) int64 {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iogen: bad size %q\n", s)
+		os.Exit(2)
+	}
+	return v * mult
+}

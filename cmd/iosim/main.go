@@ -1,0 +1,133 @@
+// Command iosim runs a single application configuration on a simulated
+// machine and prints its report: the everyday driver for exploring the
+// parameter space outside the paper's fixed sweeps.
+//
+// Usage:
+//
+//	iosim -app fft -procs 8 -ionodes 2 -opt
+//	iosim -app scf11 -procs 4 -input LARGE -version passion
+//	iosim -app scf30 -procs 32 -cached 90
+//	iosim -app btio -procs 16 -class A -opt
+//	iosim -app ast -procs 32 -ionodes 64 -opt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pario/internal/apps/ast"
+	"pario/internal/apps/btio"
+	"pario/internal/apps/fft"
+	"pario/internal/apps/scf"
+	"pario/internal/core"
+	"pario/internal/machine"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "", "scf11 | scf30 | fft | btio | ast")
+		procs   = flag.Int("procs", 4, "compute processes")
+		ionodes = flag.Int("ionodes", 0, "I/O nodes (0 = app's paper default)")
+		opt     = flag.Bool("opt", false, "apply the application's optimization")
+		input   = flag.String("input", "MEDIUM", "scf input: SMALL | MEDIUM | LARGE")
+		version = flag.String("version", "original", "scf11 version: original | passion | prefetch")
+		cached  = flag.Int("cached", 90, "scf30: % of integrals cached on disk")
+		class   = flag.String("class", "A", "btio class: A | B")
+	)
+	flag.Parse()
+
+	rep, err := run(*app, *procs, *ionodes, *opt, *input, *version, *cached, *class)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iosim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("machine:     %s\n", rep.Machine)
+	fmt.Printf("processes:   %d (on %d I/O nodes)\n", rep.Procs, rep.IONodes)
+	fmt.Printf("exec time:   %.2f s\n", rep.ExecSec)
+	fmt.Printf("I/O time:    %.2f s per process (%.1f%% of exec)\n", rep.IOMaxSec, rep.IOPctOfExec())
+	fmt.Printf("volume:      %.1f MB read, %.1f MB written\n",
+		float64(rep.BytesRead)/1e6, float64(rep.BytesWritten)/1e6)
+	fmt.Printf("bandwidth:   %.2f MB/s\n\n", rep.BandwidthMBs())
+	fmt.Println(rep.Trace.Table(rep.ExecSec * float64(rep.Procs)))
+}
+
+func run(app string, procs, ionodes int, opt bool, input, version string, cached int, class string) (core.Report, error) {
+	scfIn := map[string]scf.Input{"SMALL": scf.Small, "MEDIUM": scf.Medium, "LARGE": scf.Large}
+	switch strings.ToLower(app) {
+	case "scf11":
+		nio := ionodes
+		if nio == 0 {
+			nio = 12
+		}
+		m, err := machine.ParagonLarge(nio)
+		if err != nil {
+			return core.Report{}, err
+		}
+		in, ok := scfIn[strings.ToUpper(input)]
+		if !ok {
+			return core.Report{}, fmt.Errorf("unknown input %q", input)
+		}
+		v := scf.Original
+		switch strings.ToLower(version) {
+		case "original":
+		case "passion":
+			v = scf.Passion
+		case "prefetch":
+			v = scf.PassionPrefetch
+		default:
+			return core.Report{}, fmt.Errorf("unknown version %q", version)
+		}
+		if opt {
+			v = scf.PassionPrefetch
+		}
+		return scf.Run11(scf.Config11{Machine: m, Input: in, Procs: procs, Version: v})
+	case "scf30":
+		nio := ionodes
+		if nio == 0 {
+			nio = 16
+		}
+		m, err := machine.ParagonLarge(nio)
+		if err != nil {
+			return core.Report{}, err
+		}
+		in, ok := scfIn[strings.ToUpper(input)]
+		if !ok {
+			return core.Report{}, fmt.Errorf("unknown input %q", input)
+		}
+		return scf.Run30(scf.Config30{Machine: m, Input: in, Procs: procs, CachedPct: cached, Balance: true})
+	case "fft":
+		nio := ionodes
+		if nio == 0 {
+			nio = 2
+		}
+		m, err := machine.ParagonSmall(nio)
+		if err != nil {
+			return core.Report{}, err
+		}
+		return fft.Run(fft.Config{Machine: m, Procs: procs, OptimizedLayout: opt})
+	case "btio":
+		m, err := machine.SP2()
+		if err != nil {
+			return core.Report{}, err
+		}
+		cls := btio.ClassA
+		if strings.ToUpper(class) == "B" {
+			cls = btio.ClassB
+		}
+		return btio.Run(btio.Config{Machine: m, Procs: procs, Class: cls, Collective: opt})
+	case "ast":
+		nio := ionodes
+		if nio == 0 {
+			nio = 16
+		}
+		m, err := machine.ParagonLarge(nio)
+		if err != nil {
+			return core.Report{}, err
+		}
+		return ast.Run(ast.Config{Machine: m, Procs: procs, Optimized: opt})
+	default:
+		return core.Report{}, fmt.Errorf("unknown app %q (scf11|scf30|fft|btio|ast)", app)
+	}
+}

@@ -1,0 +1,85 @@
+// Command iotrace prints the Pablo-style per-operation I/O summary (the
+// format of the paper's Tables 2-3) for an application configuration — the
+// instrumentation view of a run.
+//
+// Usage:
+//
+//	iotrace -app scf11 -procs 4 -input LARGE -version passion
+//	iotrace -app btio -procs 16 -opt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pario/internal/apps/btio"
+	"pario/internal/apps/fft"
+	"pario/internal/apps/scf"
+	"pario/internal/core"
+	"pario/internal/machine"
+	"pario/internal/trace"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "scf11", "scf11 | fft | btio")
+		procs   = flag.Int("procs", 4, "compute processes")
+		input   = flag.String("input", "MEDIUM", "scf input: SMALL | MEDIUM | LARGE")
+		version = flag.String("version", "original", "scf11: original | passion | prefetch")
+		opt     = flag.Bool("opt", false, "apply the application's optimization")
+	)
+	flag.Parse()
+
+	rep, err := runApp(*app, *procs, *input, *version, *opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iotrace: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s, %d processes — aggregated I/O operation summary\n", rep.Machine, rep.Procs)
+	fmt.Printf("(percentages against exec time aggregated across processes, as in the paper)\n\n")
+	fmt.Print(rep.Trace.Table(rep.ExecSec * float64(rep.Procs)))
+	fmt.Printf("\nper-process I/O time: %.2f s; exec: %.2f s; bandwidth: %.2f MB/s; "+
+		"I/O imbalance (max/mean): %.2f; busiest I/O node at %.0f%% of exec\n\n",
+		rep.IOMaxSec, rep.ExecSec, rep.BandwidthMBs(), rep.IOImbalance(),
+		100*rep.MaxIONodeUtil())
+	for _, op := range []trace.Op{trace.Read, trace.Write} {
+		if rep.Trace.Get(op).Count > 0 {
+			fmt.Println(rep.Trace.HistogramString(op))
+		}
+	}
+}
+
+func runApp(app string, procs int, input, version string, opt bool) (core.Report, error) {
+	switch strings.ToLower(app) {
+	case "scf11":
+		m, err := machine.ParagonLarge(12)
+		if err != nil {
+			return core.Report{}, err
+		}
+		ins := map[string]scf.Input{"SMALL": scf.Small, "MEDIUM": scf.Medium, "LARGE": scf.Large}
+		in, ok := ins[strings.ToUpper(input)]
+		if !ok {
+			return core.Report{}, fmt.Errorf("unknown input %q", input)
+		}
+		v := map[string]scf.Version{
+			"original": scf.Original, "passion": scf.Passion, "prefetch": scf.PassionPrefetch,
+		}[strings.ToLower(version)]
+		return scf.Run11(scf.Config11{Machine: m, Input: in, Procs: procs, Version: v})
+	case "fft":
+		m, err := machine.ParagonSmall(2)
+		if err != nil {
+			return core.Report{}, err
+		}
+		return fft.Run(fft.Config{Machine: m, Procs: procs, OptimizedLayout: opt})
+	case "btio":
+		m, err := machine.SP2()
+		if err != nil {
+			return core.Report{}, err
+		}
+		return btio.Run(btio.Config{Machine: m, Procs: procs, Class: btio.ClassA, Collective: opt})
+	default:
+		return core.Report{}, fmt.Errorf("unknown app %q", app)
+	}
+}

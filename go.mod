@@ -1,0 +1,3 @@
+module pario
+
+go 1.22

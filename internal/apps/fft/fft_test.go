@@ -1,0 +1,166 @@
+package fft
+
+import (
+	"testing"
+
+	"pario/internal/machine"
+	"pario/internal/trace"
+)
+
+func paragonSmall(t *testing.T, nio int) *machine.Config {
+	t.Helper()
+	m, err := machine.ParagonSmall(nio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// testCfg is a reduced problem (256x256, 256 KB buffers) so tests run
+// quickly; the layout effect is scale-free.
+func testCfg(t *testing.T, procs, nio int, opt bool) Config {
+	return Config{
+		Machine:         paragonSmall(t, nio),
+		Procs:           procs,
+		N:               256,
+		OptimizedLayout: opt,
+		BufferBytes:     256 << 10,
+	}
+}
+
+func TestRunCompletes(t *testing.T) {
+	rep, err := Run(testCfg(t, 4, 2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExecSec <= 0 || rep.IOMaxSec <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestIOVolumeIsSixPasses(t *testing.T) {
+	rep, err := Run(testCfg(t, 2, 2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := TotalIOBytes(256)
+	got := rep.BytesRead + rep.BytesWritten
+	if got != want {
+		t.Fatalf("I/O volume = %d, want %d (6 passes)", got, want)
+	}
+	// Reads and writes are symmetric (3 read passes, 3 write passes).
+	if rep.BytesRead != rep.BytesWritten {
+		t.Fatalf("read %d != written %d", rep.BytesRead, rep.BytesWritten)
+	}
+}
+
+func TestLayoutOptimizationReducesRequests(t *testing.T) {
+	un, err := Run(testCfg(t, 2, 2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := Run(testCfg(t, 2, 2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unOps := un.Trace.Get(trace.Read).Count + un.Trace.Get(trace.Write).Count
+	opOps := op.Trace.Get(trace.Read).Count + op.Trace.Get(trace.Write).Count
+	if opOps*4 > unOps {
+		t.Fatalf("optimized ops = %d vs unoptimized %d: shattering missing", opOps, unOps)
+	}
+}
+
+func TestLayoutOptimizationReducesIOTime(t *testing.T) {
+	un, err := Run(testCfg(t, 2, 2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := Run(testCfg(t, 2, 2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.IOMaxSec*2 > un.IOMaxSec {
+		t.Fatalf("optimized I/O %g not well below unoptimized %g", op.IOMaxSec, un.IOMaxSec)
+	}
+	if op.ExecSec >= un.ExecSec {
+		t.Fatalf("optimized exec %g not below unoptimized %g", op.ExecSec, un.ExecSec)
+	}
+}
+
+func TestOptimized2IOBeatsUnoptimized4IO(t *testing.T) {
+	// The paper's headline for FFT (§4.4, Figure 5): the layout-optimized
+	// program on 2 I/O nodes beats the unoptimized one on 4 I/O nodes for
+	// all processor counts.
+	for _, procs := range []int{1, 2, 4, 8} {
+		op2, err := Run(testCfg(t, procs, 2, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		un4, err := Run(testCfg(t, procs, 4, false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if op2.ExecSec >= un4.ExecSec {
+			t.Fatalf("procs=%d: optimized/2io exec %g not below unoptimized/4io %g",
+				procs, op2.ExecSec, un4.ExecSec)
+		}
+	}
+}
+
+func TestIODominatesExecution(t *testing.T) {
+	// Paper §4.4: I/O is 90-95% of FFT execution time (unoptimized).
+	rep, err := Run(testCfg(t, 4, 2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pct := rep.IOPctOfExec(); pct < 80 {
+		t.Fatalf("I/O = %g%% of exec, want >= 80%%", pct)
+	}
+}
+
+func TestUnoptimizedIOTimeGrowsWithProcs(t *testing.T) {
+	// Figure 5(a): on 2 I/O nodes the unoptimized I/O time rises beyond a
+	// small processor count instead of scaling down.
+	few, err := Run(testCfg(t, 2, 2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := Run(testCfg(t, 16, 2, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.IOMaxSec < few.IOMaxSec/2 {
+		t.Fatalf("I/O time fell from %g to %g going 2->16 procs; contention missing",
+			few.IOMaxSec, many.IOMaxSec)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	cfg := testCfg(t, 2, 2, false)
+	cfg.BufferBytes = 1024 // cannot hold one column
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("tiny buffer accepted")
+	}
+	cfg = testCfg(t, 2, 2, false)
+	cfg.N = 1
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("N < procs accepted")
+	}
+}
+
+func TestDefaultN(t *testing.T) {
+	cfg := Config{Machine: paragonSmall(t, 2), Procs: 1}
+	if err := cfg.defaults(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.N != 4096 || cfg.BufferBytes != 8<<20 {
+		t.Fatalf("defaults = N %d buf %d", cfg.N, cfg.BufferBytes)
+	}
+	// 4096 gives the paper's 1.5 GB total I/O.
+	if v := TotalIOBytes(4096); v < 1400<<20 || v > 1700<<20 {
+		t.Fatalf("default I/O volume = %d, want ~1.5 GB", v)
+	}
+}

@@ -1,0 +1,147 @@
+// Package chart renders small ASCII line charts. The experiment harness
+// uses it to draw the paper's figures next to their data tables, so a
+// regenerated figure can be eyeballed against the original without
+// plotting tools.
+package chart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Chart is a set of curves over shared x labels.
+type Chart struct {
+	Title   string
+	YLabel  string
+	XLabels []string
+	Series  []Series
+	// LogY plots on a log10 scale (all values must be positive).
+	LogY bool
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart as text with the given plot-area height (rows).
+// Column width adapts to the x labels. Returns "" for an empty chart.
+func (c *Chart) Render(height int) string {
+	if height < 2 {
+		height = 8
+	}
+	n := len(c.XLabels)
+	if n == 0 || len(c.Series) == 0 {
+		return ""
+	}
+
+	// Value range.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i, v := range s.Values {
+			if i >= n {
+				break
+			}
+			if c.LogY && v <= 0 {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return ""
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	scale := func(v float64) float64 {
+		if c.LogY {
+			return (math.Log10(v) - math.Log10(lo)) / (math.Log10(hi) - math.Log10(lo))
+		}
+		return (v - lo) / (hi - lo)
+	}
+
+	// Column geometry: each x position gets a fixed-width cell.
+	colW := 3
+	for _, l := range c.XLabels {
+		if len(l)+1 > colW {
+			colW = len(l) + 1
+		}
+	}
+	plotW := colW * n
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", plotW))
+	}
+	for si, s := range c.Series {
+		mark := markers[si%len(markers)]
+		for i, v := range s.Values {
+			if i >= n {
+				break
+			}
+			if c.LogY && v <= 0 {
+				continue
+			}
+			row := int(math.Round(scale(v) * float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row > height-1 {
+				row = height - 1
+			}
+			col := i*colW + colW/2
+			grid[height-1-row][col] = mark
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	axisW := 10
+	for r, row := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = trimNum(hi)
+		case height - 1:
+			label = trimNum(lo)
+		}
+		fmt.Fprintf(&b, "%*s |%s\n", axisW, label, string(row))
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", axisW, "", strings.Repeat("-", plotW))
+	var xl strings.Builder
+	for _, l := range c.XLabels {
+		fmt.Fprintf(&xl, "%-*s", colW, l)
+	}
+	fmt.Fprintf(&b, "%*s  %s\n", axisW, c.YLabel, xl.String())
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(&b, "%*s  %s\n", axisW, "", strings.Join(legend, "  "))
+	return b.String()
+}
+
+// trimNum renders an axis value compactly.
+func trimNum(v float64) string {
+	switch {
+	case v >= 10000:
+		return fmt.Sprintf("%.3g", v)
+	case v >= 10:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}

@@ -1,0 +1,116 @@
+package chart
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Chart {
+	return &Chart{
+		Title:   "demo",
+		YLabel:  "procs",
+		XLabels: []string{"4", "16", "64"},
+		Series: []Series{
+			{Name: "unopt", Values: []float64{100, 50, 25}},
+			{Name: "opt", Values: []float64{40, 20, 10}},
+		},
+	}
+}
+
+func TestRenderContainsStructure(t *testing.T) {
+	out := sample().Render(8)
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	for _, want := range []string{"demo", "*=unopt", "o=opt", "+---", "4", "16", "64"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderHeight(t *testing.T) {
+	out := sample().Render(6)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 6 plot rows + axis + xlabels + legend = 10
+	if len(lines) != 10 {
+		t.Fatalf("lines = %d, want 10:\n%s", len(lines), out)
+	}
+}
+
+func TestMaxOnTopRowMinOnBottom(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"a", "b"},
+		Series:  []Series{{Name: "s", Values: []float64{1, 9}}},
+	}
+	out := c.Render(5)
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[0], "*") {
+		t.Fatalf("max not on top row:\n%s", out)
+	}
+	if !strings.Contains(lines[4], "*") {
+		t.Fatalf("min not on bottom row:\n%s", out)
+	}
+	if !strings.Contains(lines[0], "9") || !strings.Contains(lines[4], "1") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestEmptyChart(t *testing.T) {
+	if out := (&Chart{}).Render(5); out != "" {
+		t.Fatalf("empty chart rendered %q", out)
+	}
+	c := &Chart{XLabels: []string{"a"}, Series: []Series{{Name: "s"}}}
+	if out := c.Render(5); out != "" {
+		t.Fatalf("valueless chart rendered %q", out)
+	}
+}
+
+func TestConstantSeriesNoDivZero(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"a", "b"},
+		Series:  []Series{{Name: "s", Values: []float64{5, 5}}},
+	}
+	out := c.Render(4)
+	if out == "" || strings.Contains(out, "NaN") {
+		t.Fatalf("constant series broke render:\n%s", out)
+	}
+}
+
+func TestLogScaleSpreadsDecades(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"a", "b", "c"},
+		Series:  []Series{{Name: "s", Values: []float64{1, 10, 100}}},
+		LogY:    true,
+	}
+	out := c.Render(5)
+	lines := strings.Split(out, "\n")
+	// On a log scale the middle value sits in the middle row.
+	if !strings.Contains(lines[2], "*") {
+		t.Fatalf("log middle not centered:\n%s", out)
+	}
+}
+
+func TestLogSkipsNonPositive(t *testing.T) {
+	c := &Chart{
+		XLabels: []string{"a", "b"},
+		Series:  []Series{{Name: "s", Values: []float64{0, 10}}},
+		LogY:    true,
+	}
+	out := c.Render(4)
+	// One plotted point plus the legend's marker.
+	if strings.Count(out, "*") != 2 {
+		t.Fatalf("non-positive value plotted on log scale:\n%s", out)
+	}
+}
+
+func TestManySeriesMarkersCycle(t *testing.T) {
+	c := &Chart{XLabels: []string{"x"}}
+	for i := 0; i < 10; i++ {
+		c.Series = append(c.Series, Series{Name: "s", Values: []float64{float64(i + 1)}})
+	}
+	out := c.Render(12)
+	if !strings.Contains(out, "*=s") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}

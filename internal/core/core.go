@@ -1,0 +1,238 @@
+// Package core assembles a complete simulated system — engine, topology,
+// interconnect, parallel file system, communicator and per-rank tracing —
+// from a machine configuration, runs SPMD workloads on it, and produces the
+// measurement report the experiment harness consumes.
+//
+// This is the orchestration layer every application and experiment goes
+// through: it owns the convention that rank i lives on compute node i, that
+// each rank has one trace recorder, and that "execution time" is the wall
+// clock at which the slowest rank finishes.
+package core
+
+import (
+	"fmt"
+
+	"pario/internal/machine"
+	"pario/internal/mp"
+	"pario/internal/network"
+	"pario/internal/pfs"
+	"pario/internal/pio"
+	"pario/internal/sim"
+	"pario/internal/topology"
+	"pario/internal/trace"
+)
+
+// System is one fully wired simulated machine instance.
+type System struct {
+	Cfg  *machine.Config
+	Eng  *sim.Engine
+	Topo *topology.Topology
+	Net  *network.Network
+	FS   *pfs.FS
+	Comm *mp.Comm
+
+	Procs     int
+	Recorders []*trace.Recorder
+}
+
+// NewSystem builds a machine with procs application ranks.
+func NewSystem(cfg *machine.Config, procs int) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if procs < 1 || procs > cfg.NumCompute {
+		return nil, fmt.Errorf("core: %d procs on %d compute nodes", procs, cfg.NumCompute)
+	}
+	eng := sim.NewEngine()
+	topo, err := cfg.Topology()
+	if err != nil {
+		return nil, err
+	}
+	net, err := network.New(eng, topo, cfg.Net)
+	if err != nil {
+		return nil, err
+	}
+	fs, err := pfs.New(eng, net, cfg.Node)
+	if err != nil {
+		return nil, err
+	}
+	comm, err := mp.New(eng, net, procs)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{
+		Cfg: cfg, Eng: eng, Topo: topo, Net: net, FS: fs, Comm: comm,
+		Procs: procs,
+	}
+	for i := 0; i < procs; i++ {
+		s.Recorders = append(s.Recorders, trace.NewRecorder())
+	}
+	return s, nil
+}
+
+// DefaultLayout returns a layout using the machine's default stripe unit
+// over all I/O nodes.
+func (s *System) DefaultLayout() pfs.Layout {
+	return pfs.Layout{
+		StripeUnit:   s.Cfg.DefaultStripeUnit,
+		StripeFactor: s.FS.NumIONodes(),
+		FirstNode:    0,
+	}
+}
+
+// Client builds an I/O client for rank with the given interface parameters,
+// recording into the rank's recorder.
+func (s *System) Client(rank int, par pio.ClientParams) *pio.Client {
+	c, err := pio.NewClient(s.FS, s.Comm.NodeOf(rank), par, s.Recorders[rank])
+	if err != nil {
+		// ClientParams come from a validated machine config; an error here
+		// is a programming bug, not an input condition.
+		panic(err)
+	}
+	return c
+}
+
+// Compute blocks p for the time to execute flops floating-point operations
+// on one compute node.
+func (s *System) Compute(p *sim.Proc, flops float64) {
+	if flops <= 0 {
+		return
+	}
+	p.Delay(flops / s.Cfg.CPUFlops)
+}
+
+// RunRanks executes body once per rank (rank processes run concurrently in
+// virtual time) and returns the wall-clock execution time: the finish time
+// of the slowest rank. The engine is run to completion, so asynchronous
+// activity (cache drains, prefetches) is fully accounted.
+func (s *System) RunRanks(body func(p *sim.Proc, rank int)) (float64, error) {
+	finish := make([]float64, s.Procs)
+	for r := 0; r < s.Procs; r++ {
+		r := r
+		s.Eng.Spawn(fmt.Sprintf("rank%d", r), func(p *sim.Proc) {
+			body(p, r)
+			finish[r] = p.Now()
+		})
+	}
+	if err := s.Eng.Run(); err != nil {
+		return 0, err
+	}
+	var wall float64
+	for _, f := range finish {
+		if f > wall {
+			wall = f
+		}
+	}
+	return wall, nil
+}
+
+// Report is the outcome of one application run.
+type Report struct {
+	Machine string
+	Procs   int
+	IONodes int
+
+	// ExecSec is the wall-clock execution time (slowest rank).
+	ExecSec float64
+	// IOMaxSec is the largest per-rank cumulative I/O time: the
+	// per-process I/O time plotted in the paper's figures.
+	IOMaxSec float64
+	// IOAggSec is the cumulative I/O time summed over ranks: the
+	// convention of the paper's Tables 2-3.
+	IOAggSec float64
+
+	// Trace aggregates all ranks' operations.
+	Trace *trace.Recorder
+	// PerRankIOSec is each rank's cumulative I/O time, for imbalance
+	// analysis.
+	PerRankIOSec []float64
+	// IONodeBusySec is each I/O node's cumulative disk busy time: the
+	// architecture-balance view (a saturated partition shows busy times
+	// approaching ExecSec).
+	IONodeBusySec []float64
+
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// MaxIONodeUtil returns the busiest I/O node's disk busy time relative to
+// the execution time. A node with several drives, or with write-behind
+// drains completing after the last rank finishes, can exceed 1.
+func (r Report) MaxIONodeUtil() float64 {
+	if r.ExecSec <= 0 {
+		return 0
+	}
+	var max float64
+	for _, b := range r.IONodeBusySec {
+		if b > max {
+			max = b
+		}
+	}
+	return max / r.ExecSec
+}
+
+// IOImbalance returns max/mean of the per-rank I/O times (1 = perfectly
+// balanced; 0 when no rank did I/O).
+func (r Report) IOImbalance() float64 {
+	var sum, max float64
+	for _, v := range r.PerRankIOSec {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := sum / float64(len(r.PerRankIOSec))
+	return max / mean
+}
+
+// BandwidthMBs is the application-level I/O bandwidth in MB/s: total volume
+// over the per-process I/O time (as the paper's Figure 7 reports).
+func (r Report) BandwidthMBs() float64 {
+	if r.IOMaxSec <= 0 {
+		return 0
+	}
+	return float64(r.BytesRead+r.BytesWritten) / 1e6 / r.IOMaxSec
+}
+
+// IOPctOfExec returns the per-process I/O share of execution time.
+func (r Report) IOPctOfExec() float64 {
+	if r.ExecSec <= 0 {
+		return 0
+	}
+	return 100 * r.IOMaxSec / r.ExecSec
+}
+
+// MakeReport assembles the report for a finished run.
+func (s *System) MakeReport(execSec float64) Report {
+	agg := trace.NewRecorder()
+	var ioMax float64
+	perRank := make([]float64, 0, len(s.Recorders))
+	for _, rec := range s.Recorders {
+		agg.Merge(rec)
+		t := rec.IOSec()
+		perRank = append(perRank, t)
+		if t > ioMax {
+			ioMax = t
+		}
+	}
+	busy := make([]float64, 0, s.FS.NumIONodes())
+	for i := 0; i < s.FS.NumIONodes(); i++ {
+		busy = append(busy, s.FS.IONode(i).Stats().BusySec)
+	}
+	return Report{
+		Machine:       s.Cfg.Name,
+		Procs:         s.Procs,
+		IONodes:       s.FS.NumIONodes(),
+		ExecSec:       execSec,
+		IOMaxSec:      ioMax,
+		IOAggSec:      agg.IOSec(),
+		Trace:         agg,
+		PerRankIOSec:  perRank,
+		IONodeBusySec: busy,
+		BytesRead:     agg.Get(trace.Read).Bytes,
+		BytesWritten:  agg.Get(trace.Write).Bytes,
+	}
+}

@@ -1,0 +1,149 @@
+// Package disk models a single disk drive behind an I/O node.
+//
+// The service time of a request is
+//
+//	overhead + seek(head, offset) + size * byteTime
+//
+// where seek is zero when the request continues where the head left off and
+// otherwise grows from SeekMin toward SeekMax with the distance moved. The
+// disk serializes requests in FIFO order. This positioning model is what
+// makes small non-contiguous requests expensive and large sequential ones
+// cheap — the mechanism behind every software optimization evaluated in the
+// paper (collective I/O, layout transformation, request aggregation).
+package disk
+
+import (
+	"fmt"
+	"math"
+
+	"pario/internal/sim"
+)
+
+// Params holds the drive cost model.
+type Params struct {
+	// RequestOverhead is the fixed controller/firmware cost per request in
+	// seconds.
+	RequestOverhead float64
+	// SeekMin is the cost of the shortest non-zero head movement.
+	SeekMin float64
+	// SeekMax is the cost of a full-stroke movement.
+	SeekMax float64
+	// FullStroke is the byte distance treated as a full stroke.
+	FullStroke int64
+	// ByteTime is the streaming transfer time per byte (1/rate).
+	ByteTime float64
+}
+
+// Validate reports obviously broken parameters.
+func (p Params) Validate() error {
+	if p.RequestOverhead < 0 || p.SeekMin < 0 || p.SeekMax < p.SeekMin ||
+		p.FullStroke <= 0 || p.ByteTime <= 0 {
+		return fmt.Errorf("disk: invalid params %+v", p)
+	}
+	return nil
+}
+
+// Stats aggregates what the drive has done.
+type Stats struct {
+	Reads      int64
+	Writes     int64
+	BytesRead  int64
+	BytesWrite int64
+	Seeks      int64 // requests that required head movement
+	BusySec    float64
+}
+
+// Disk is one drive. All service goes through a capacity-1 resource, so
+// concurrent requests queue.
+type Disk struct {
+	eng  *sim.Engine
+	res  *sim.Resource
+	par  Params
+	head int64
+	st   Stats
+}
+
+// New returns an idle disk with the head at offset 0.
+func New(eng *sim.Engine, name string, par Params) (*Disk, error) {
+	if err := par.Validate(); err != nil {
+		return nil, err
+	}
+	return &Disk{eng: eng, res: sim.NewResource(eng, name, 1), par: par}, nil
+}
+
+// seekTime returns the head-movement cost from the current position to
+// off. Seek time grows with the square root of the distance — the standard
+// disk model shape, where settle time dominates short seeks and arm
+// acceleration amortizes over long ones — saturating at SeekMax beyond a
+// full stroke.
+func (d *Disk) seekTime(off int64) float64 {
+	if off == d.head {
+		return 0
+	}
+	dist := off - d.head
+	if dist < 0 {
+		dist = -dist
+	}
+	frac := float64(dist) / float64(d.par.FullStroke)
+	if frac > 1 {
+		frac = 1
+	}
+	return d.par.SeekMin + (d.par.SeekMax-d.par.SeekMin)*math.Sqrt(frac)
+}
+
+// ServiceTime returns the uncontended service time of a request starting
+// from the current head position, without performing it.
+func (d *Disk) ServiceTime(off, size int64) float64 {
+	return d.par.RequestOverhead + d.seekTime(off) + float64(size)*d.par.ByteTime
+}
+
+// Access performs one request, blocking p for queueing plus service time.
+// It updates the head to the end of the accessed range.
+func (d *Disk) Access(p *sim.Proc, off, size int64, write bool) {
+	if off < 0 || size < 0 {
+		panic(fmt.Sprintf("disk: bad request off=%d size=%d", off, size))
+	}
+	d.res.Acquire(p)
+	// Service time is computed under the resource: the head position seen
+	// is the one left by the previous request, so interleaved streams from
+	// different processes genuinely disturb each other.
+	svc := d.par.RequestOverhead + float64(size)*d.par.ByteTime
+	if s := d.seekTime(off); s > 0 {
+		svc += s
+		d.st.Seeks++
+	}
+	d.head = off + size
+	if write {
+		d.st.Writes++
+		d.st.BytesWrite += size
+	} else {
+		d.st.Reads++
+		d.st.BytesRead += size
+	}
+	d.st.BusySec += svc
+	p.Delay(svc)
+	d.res.Release()
+}
+
+// Degrade multiplies the drive's service costs (overhead, seeks, transfer)
+// by factor — fault injection for a failing or throttled spindle. Factors
+// below 1 model an upgrade. Requests already queued are unaffected until
+// they reach service.
+func (d *Disk) Degrade(factor float64) {
+	if factor <= 0 {
+		panic("disk: degrade factor must be positive")
+	}
+	d.par.RequestOverhead *= factor
+	d.par.SeekMin *= factor
+	d.par.SeekMax *= factor
+	d.par.ByteTime *= factor
+}
+
+// Head returns the current head byte position.
+func (d *Disk) Head() int64 { return d.head }
+
+// Stats returns a copy of the accumulated statistics.
+func (d *Disk) Stats() Stats { return d.st }
+
+// Queue exposes the underlying resource for contention statistics.
+func (d *Disk) Queue() *sim.Resource { return d.res }

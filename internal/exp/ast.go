@@ -1,0 +1,61 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"pario/internal/apps/ast"
+	"pario/internal/machine"
+)
+
+// astCfg returns the Table 4 configuration, shrunk at Quick scale.
+func astCfg(s Scale, procs, nio int, opt bool) (ast.Config, error) {
+	m, err := machine.ParagonLarge(nio)
+	if err != nil {
+		return ast.Config{}, err
+	}
+	cfg := ast.Config{Machine: m, Procs: procs, Optimized: opt}
+	if s == Quick {
+		cfg.N, cfg.Arrays, cfg.Dumps = 256, 2, 2
+	}
+	return cfg, nil
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "table4",
+		Title: "AST 2Kx2K: execution time, unoptimized (Chameleon) vs optimized (two-phase)",
+		Expect: "optimized is several times faster at every processor count; the unoptimized time " +
+			"falls with processors; 64 I/O nodes barely beat 16; the optimized column flattens at " +
+			"high processor counts",
+		Run: func(w io.Writer, s Scale) error {
+			procs := []int{16, 32, 64, 128}
+			if s == Quick {
+				procs = []int{2, 4, 8}
+			}
+			fmt.Fprintf(w, "%6s | %12s %12s | %12s %12s\n", "procs",
+				"unopt 16io", "unopt 64io", "opt 16io", "opt 64io")
+			for _, p := range procs {
+				var cells [4]string
+				i := 0
+				for _, opt := range []bool{false, true} {
+					for _, nio := range []int{16, 64} {
+						cfg, err := astCfg(s, p, nio, opt)
+						if err != nil {
+							return err
+						}
+						rep, err := ast.Run(cfg)
+						if err != nil {
+							return err
+						}
+						cells[i] = hms(rep.ExecSec)
+						i++
+					}
+				}
+				fmt.Fprintf(w, "%6d | %12s %12s | %12s %12s\n", p,
+					cells[0], cells[1], cells[2], cells[3])
+			}
+			return nil
+		},
+	})
+}

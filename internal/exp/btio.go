@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"pario/internal/apps/btio"
+	"pario/internal/chart"
+	"pario/internal/machine"
+)
+
+// btioClass shrinks the class at Quick scale.
+func btioClass(s Scale, c btio.Class) btio.Class {
+	if s == Full {
+		return c
+	}
+	return btio.Class{Name: c.Name + "(quick)", N: 16, Dumps: 3}
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "fig6",
+		Title: "BTIO Class A on the SP-2: I/O and total time vs. processors",
+		Expect: "unoptimized I/O time is high and erratic (hump near 36 procs); two-phase I/O is " +
+			"flat and low; total time drops ~46%/49% at 36/64 procs",
+		Run: func(w io.Writer, s Scale) error {
+			m, err := machine.SP2()
+			if err != nil {
+				return err
+			}
+			procs := []int{4, 9, 16, 25, 36, 49, 64}
+			if s == Quick {
+				procs = []int{4, 16}
+			}
+			cls := btioClass(s, btio.ClassA)
+			fmt.Fprintf(w, "%6s | %10s %10s | %10s %10s | %8s\n", "procs",
+				"unopt I/O", "unopt tot", "opt I/O", "opt tot", "tot red.")
+			ch := &chart.Chart{
+				Title: "I/O time vs compute nodes (log y)", YLabel: "procs",
+				LogY:   true,
+				Series: []chart.Series{{Name: "unopt"}, {Name: "two-phase"}},
+			}
+			for _, p := range procs {
+				un, err := btio.Run(btio.Config{Machine: m, Procs: p, Class: cls})
+				if err != nil {
+					return err
+				}
+				op, err := btio.Run(btio.Config{Machine: m, Procs: p, Class: cls, Collective: true})
+				if err != nil {
+					return err
+				}
+				red := 100 * (1 - op.ExecSec/un.ExecSec)
+				fmt.Fprintf(w, "%6d | %10s %10s | %10s %10s | %7.1f%%\n", p,
+					hms(un.IOMaxSec), hms(un.ExecSec), hms(op.IOMaxSec), hms(op.ExecSec), red)
+				ch.XLabels = append(ch.XLabels, fmt.Sprint(p))
+				ch.Series[0].Values = append(ch.Series[0].Values, un.IOMaxSec)
+				ch.Series[1].Values = append(ch.Series[1].Values, op.IOMaxSec)
+			}
+			fmt.Fprintf(w, "\n%s", ch.Render(10))
+			return nil
+		},
+	})
+
+	register(&Experiment{
+		ID:     "fig7",
+		Title:  "BTIO I/O bandwidths, Class A and Class B",
+		Expect: "original 0.97-1.5 MB/s; optimized 6.6-31.4 MB/s",
+		Run: func(w io.Writer, s Scale) error {
+			m, err := machine.SP2()
+			if err != nil {
+				return err
+			}
+			type row struct {
+				cls   btio.Class
+				dumps int // override for the big class; 0 = class default
+			}
+			rows := []row{
+				{btioClass(s, btio.ClassA), 0},
+				// Class B dumps are statistically identical; 8 of 40 give
+				// the same steady-state bandwidth at a fifth of the cost.
+				{btioClass(s, btio.ClassB), 8},
+			}
+			procs := []int{16, 36, 64}
+			if s == Quick {
+				procs = []int{4, 16}
+				rows = rows[:1]
+			}
+			fmt.Fprintf(w, "%8s %6s | %14s %14s\n", "class", "procs", "orig MB/s", "opt MB/s")
+			for _, r := range rows {
+				for _, p := range procs {
+					un, err := btio.Run(btio.Config{
+						Machine: m, Procs: p, Class: r.cls, DumpsOverride: r.dumps,
+					})
+					if err != nil {
+						return err
+					}
+					op, err := btio.Run(btio.Config{
+						Machine: m, Procs: p, Class: r.cls, Collective: true, DumpsOverride: r.dumps,
+					})
+					if err != nil {
+						return err
+					}
+					fmt.Fprintf(w, "%8s %6d | %14.2f %14.2f\n",
+						r.cls.Name, p, un.BandwidthMBs(), op.BandwidthMBs())
+				}
+			}
+			return nil
+		},
+	})
+}

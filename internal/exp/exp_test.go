@@ -1,0 +1,130 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5",
+		"fig6", "fig7", "table4", "table5",
+	}
+	for _, id := range want {
+		if ByID(id) == nil {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	all := All()
+	if len(all) < len(want) {
+		t.Fatalf("All() returned %d experiments, want >= %d", len(all), len(want))
+	}
+	// Artifact order is table2 first, table5 last of the core set.
+	if all[0].ID != "table2" {
+		t.Fatalf("All()[0] = %s, want table2", all[0].ID)
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	if ByID("nope") != nil {
+		t.Fatal("unknown id returned an experiment")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	register(&Experiment{ID: "table2"})
+}
+
+// TestAllExperimentsRunQuick executes every registered experiment at Quick
+// scale and sanity-checks that each produces non-trivial output.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(&buf, Quick); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(out) < 40 {
+				t.Fatalf("%s produced almost no output:\n%s", e.ID, out)
+			}
+			if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+				t.Fatalf("%s produced NaN/Inf:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+func TestTable2QuickShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ByID("table2").Run(&buf, Quick); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, row := range []string{"Open", "Read", "Seek", "Write", "Flush", "Close", "All I/O"} {
+		if !strings.Contains(out, row) {
+			t.Fatalf("table2 missing row %q:\n%s", row, out)
+		}
+	}
+}
+
+func TestTable5QuickVerdicts(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ByID("table5").Run(&buf, Quick); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The measured tick pattern must match the paper's Table 5.
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) != 6 {
+			continue
+		}
+		want, ok := map[string][]string{
+			"SCF":  nil, // handled by prefix below
+			"FFT":  {"-", "x", "-", "-", "-"},
+			"BTIO": {"x", "-", "-", "-", "-"},
+			"AST":  {"x", "-", "-", "-", "-"},
+		}[f[0]]
+		if !ok || want == nil {
+			continue
+		}
+		for i, v := range want {
+			if f[i+1] != v {
+				t.Fatalf("%s verdicts = %v, want %v", f[0], f[1:], want)
+			}
+		}
+	}
+	if !strings.Contains(out, "SCF 1.1") {
+		t.Fatalf("missing SCF rows:\n%s", out)
+	}
+}
+
+func TestScaleString(t *testing.T) {
+	if Quick.String() != "quick" || Full.String() != "full" {
+		t.Fatal("Scale.String mismatch")
+	}
+}
+
+func TestHms(t *testing.T) {
+	cases := []struct {
+		sec  float64
+		want string
+	}{
+		{5, "5.0s"},
+		{90, "1.5m"},
+		{7200, "2.00h"},
+	}
+	for _, c := range cases {
+		if got := hms(c.sec); got != c.want {
+			t.Errorf("hms(%g) = %q, want %q", c.sec, got, c.want)
+		}
+	}
+}

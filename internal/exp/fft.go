@@ -1,0 +1,70 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"pario/internal/apps/fft"
+	"pario/internal/chart"
+	"pario/internal/machine"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "fig5",
+		Title: "FFT on the small Paragon: I/O and total time (1.5 GB total I/O)",
+		Expect: "unoptimized I/O time rises beyond 4 procs (2 I/O nodes) / 8 procs (4 I/O nodes); " +
+			"the layout-optimized version on 2 I/O nodes beats the unoptimized one on 4 for all P; " +
+			"I/O is 90-95% of execution",
+		Run: func(w io.Writer, s Scale) error {
+			n := int64(4096)
+			buf := int64(8 << 20)
+			procs := []int{1, 2, 4, 8, 16, 32}
+			if s == Quick {
+				n, buf = 512, 512<<10
+				procs = []int{1, 2, 4, 8}
+			}
+			run := func(p, nio int, opt bool) (execSec, ioSec float64, err error) {
+				m, err := machine.ParagonSmall(nio)
+				if err != nil {
+					return 0, 0, err
+				}
+				rep, err := fft.Run(fft.Config{
+					Machine: m, Procs: p, N: n, OptimizedLayout: opt, BufferBytes: buf,
+				})
+				if err != nil {
+					return 0, 0, err
+				}
+				return rep.ExecSec, rep.IOMaxSec, nil
+			}
+			fmt.Fprintf(w, "%6s | %10s %10s | %10s %10s | %10s %10s\n", "procs",
+				"un2 I/O", "un2 exec", "un4 I/O", "un4 exec", "opt2 I/O", "opt2 exec")
+			ch := &chart.Chart{
+				Title: "I/O time vs compute nodes", YLabel: "procs",
+				Series: []chart.Series{{Name: "unopt-2io"}, {Name: "unopt-4io"}, {Name: "opt-2io"}},
+			}
+			for _, p := range procs {
+				e2, i2, err := run(p, 2, false)
+				if err != nil {
+					return err
+				}
+				e4, i4, err := run(p, 4, false)
+				if err != nil {
+					return err
+				}
+				eo, io2, err := run(p, 2, true)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%6d | %10s %10s | %10s %10s | %10s %10s\n", p,
+					hms(i2), hms(e2), hms(i4), hms(e4), hms(io2), hms(eo))
+				ch.XLabels = append(ch.XLabels, fmt.Sprint(p))
+				ch.Series[0].Values = append(ch.Series[0].Values, i2)
+				ch.Series[1].Values = append(ch.Series[1].Values, i4)
+				ch.Series[2].Values = append(ch.Series[2].Values, io2)
+			}
+			fmt.Fprintf(w, "\n%s", ch.Render(10))
+			return nil
+		},
+	})
+}

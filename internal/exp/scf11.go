@@ -1,0 +1,186 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"pario/internal/apps/scf"
+	"pario/internal/chart"
+	"pario/internal/core"
+	"pario/internal/machine"
+)
+
+// scfInput returns the LARGE input at Full scale and a small stand-in at
+// Quick scale.
+func scfInput(s Scale, in scf.Input) scf.Input {
+	if s == Full {
+		return in
+	}
+	return scf.Input{Name: in.Name + "(quick)", N: 48}
+}
+
+// runSCF11 runs one SCF 1.1 configuration against a given I/O partition.
+func runSCF11(s Scale, in scf.Input, v scf.Version, procs int, memKB, suKB int64, nio int) (core.Report, error) {
+	m, err := machine.ParagonLarge(nio)
+	if err != nil {
+		return core.Report{}, err
+	}
+	return scf.Run11(scf.Config11{
+		Machine:      m,
+		Input:        scfInput(s, in),
+		Version:      v,
+		Procs:        procs,
+		MemoryKB:     memKB,
+		StripeUnitKB: suKB,
+	})
+}
+
+func init() {
+	register(&Experiment{
+		ID:    "table2",
+		Title: "I/O summary, original SCF 1.1, LARGE input, 4 processors",
+		Expect: "aggregated over 4 procs: ~566K reads / 37 GB / ~60,284 s; ~40K writes / 2.5 GB; " +
+			"~1K seeks; I/O ~54% of exec; total I/O 4.4 h per process",
+		Run: func(w io.Writer, s Scale) error {
+			rep, err := runSCF11(s, scf.Large, scf.Original, 4, 64, 64, 12)
+			if err != nil {
+				return err
+			}
+			// The paper's percentages are taken against execution time
+			// aggregated across the 4 processors.
+			fmt.Fprint(w, rep.Trace.Table(rep.ExecSec*float64(rep.Procs)))
+			fmt.Fprintf(w, "\nTotal I/O time per process: %s (exec %s, I/O %.1f%% of exec)\n",
+				hms(rep.IOMaxSec), hms(rep.ExecSec), rep.IOPctOfExec())
+			return nil
+		},
+	})
+
+	register(&Experiment{
+		ID:    "table3",
+		Title: "I/O summary, PASSION SCF 1.1, LARGE input, 4 processors",
+		Expect: "reads drop to ~33,805 s (-45%), writes to ~1,381 s (-50%), seeks explode to " +
+			"~604K cheap calls; total I/O 2.5 h per process",
+		Run: func(w io.Writer, s Scale) error {
+			rep, err := runSCF11(s, scf.Large, scf.Passion, 4, 64, 64, 12)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, rep.Trace.Table(rep.ExecSec*float64(rep.Procs)))
+			fmt.Fprintf(w, "\nTotal I/O time per process: %s (exec %s, I/O %.1f%% of exec)\n",
+				hms(rep.IOMaxSec), hms(rep.ExecSec), rep.IOPctOfExec())
+			return nil
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig1",
+		Title: "SCF 1.1 optimization tuples I-VII on SMALL/MEDIUM/LARGE",
+		Expect: "software factors (interface, prefetch: I->II->III) dominate; system factors " +
+			"(procs, memory, stripe unit, I/O nodes: IV-VII) matter much less at small P",
+		Run: func(w io.Writer, s Scale) error {
+			// The paper's tuples (V, P, M, Su, Sf); see Figure 1 caption.
+			type tuple struct {
+				name string
+				v    scf.Version
+				p    int
+				mKB  int64
+				suKB int64
+				sf   int
+			}
+			tuples := []tuple{
+				{"I   (O,4,64,64,12)", scf.Original, 4, 64, 64, 12},
+				{"II  (P,4,64,64,12)", scf.Passion, 4, 64, 64, 12},
+				{"III (F,4,64,64,12)", scf.PassionPrefetch, 4, 64, 64, 12},
+				{"IV  (F,32,256,64,12)", scf.PassionPrefetch, 32, 256, 64, 12},
+				{"V   (F,32,256,64,16)", scf.PassionPrefetch, 32, 256, 64, 16},
+				{"VI  (F,32,256,128,12)", scf.PassionPrefetch, 32, 256, 128, 12},
+				{"VII (F,32,256,128,16)", scf.PassionPrefetch, 32, 256, 128, 16},
+			}
+			inputs := []scf.Input{scf.Small, scf.Medium, scf.Large}
+			if s == Quick {
+				inputs = inputs[:1]
+			}
+			for _, in := range inputs {
+				fmt.Fprintf(w, "input %s (N=%d):\n", in.Name, scfInput(s, in).N)
+				fmt.Fprintf(w, "  %-24s %12s %12s\n", "tuple", "exec", "I/O")
+				for _, tp := range tuples {
+					rep, err := runSCF11(s, in, tp.v, tp.p, tp.mKB, tp.suKB, tp.sf)
+					if err != nil {
+						return err
+					}
+					fmt.Fprintf(w, "  %-24s %12s %12s\n", tp.name, hms(rep.ExecSec), hms(rep.IOMaxSec))
+				}
+				fmt.Fprintln(w)
+			}
+			return nil
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig2",
+		Title: "SCF 1.1 LARGE: exec and I/O time vs. compute nodes",
+		Expect: "optimized (PASSION+prefetch, 16 I/O nodes) wins below ~64 procs; beyond that the " +
+			"unoptimized version on 64 I/O nodes wins (architecture must catch up)",
+		Run: func(w io.Writer, s Scale) error {
+			procs := []int{4, 8, 16, 32, 64, 128, 256}
+			if s == Quick {
+				procs = []int{4, 16, 64}
+			}
+			fmt.Fprintf(w, "%6s %16s %16s %16s %16s\n", "procs",
+				"unopt64 exec", "unopt64 I/O", "opt16 exec", "opt16 I/O")
+			ch := &chart.Chart{
+				Title: "execution time vs compute nodes (log y)", YLabel: "procs",
+				LogY:   true,
+				Series: []chart.Series{{Name: "unopt64"}, {Name: "opt16"}},
+			}
+			for _, p := range procs {
+				un, err := runSCF11(s, scf.Large, scf.Original, p, 64, 64, 64)
+				if err != nil {
+					return err
+				}
+				op, err := runSCF11(s, scf.Large, scf.PassionPrefetch, p, 64, 64, 16)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%6d %16s %16s %16s %16s\n", p,
+					hms(un.ExecSec), hms(un.IOMaxSec), hms(op.ExecSec), hms(op.IOMaxSec))
+				ch.XLabels = append(ch.XLabels, fmt.Sprint(p))
+				ch.Series[0].Values = append(ch.Series[0].Values, un.ExecSec)
+				ch.Series[1].Values = append(ch.Series[1].Values, op.ExecSec)
+			}
+			fmt.Fprintf(w, "\n%s", ch.Render(10))
+			return nil
+		},
+	})
+
+	register(&Experiment{
+		ID:    "fig3",
+		Title: "SCF 1.1 LARGE: effect of the number of I/O nodes",
+		Expect: "with few procs the I/O partition barely matters; with many procs, 64 I/O nodes " +
+			"clearly beat 16 and 12 (reduced contention)",
+		Run: func(w io.Writer, s Scale) error {
+			procs := []int{16, 64, 256}
+			if s == Quick {
+				procs = []int{4, 16}
+			}
+			nios := []int{12, 16, 64}
+			fmt.Fprintf(w, "%6s", "procs")
+			for _, nio := range nios {
+				fmt.Fprintf(w, " %10s %10s", fmt.Sprintf("%dio exec", nio), fmt.Sprintf("%dio I/O", nio))
+			}
+			fmt.Fprintln(w)
+			for _, p := range procs {
+				fmt.Fprintf(w, "%6d", p)
+				for _, nio := range nios {
+					rep, err := runSCF11(s, scf.Large, scf.Passion, p, 64, 64, nio)
+					if err != nil {
+						return err
+					}
+					fmt.Fprintf(w, " %10s %10s", hms(rep.ExecSec), hms(rep.IOMaxSec))
+				}
+				fmt.Fprintln(w)
+			}
+			return nil
+		},
+	})
+}

@@ -1,0 +1,55 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"pario/internal/apps/scf"
+	"pario/internal/machine"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "fig4",
+		Title: "SCF 3.0 MEDIUM: %% cached integrals x processors x I/O partition",
+		Expect: "at 0% cached adding processors helps a lot; at 100% cached it barely matters; " +
+			"the I/O partition size (16 vs 64) is nearly irrelevant",
+		Run: func(w io.Writer, s Scale) error {
+			in := scfInput(s, scf.Medium)
+			procs := []int{32, 64, 128, 256}
+			cached := []int{0, 25, 50, 75, 90, 100}
+			if s == Quick {
+				procs = []int{4, 16}
+				cached = []int{0, 50, 100}
+			}
+			for _, nio := range []int{16, 64} {
+				m, err := machine.ParagonLarge(nio)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%d I/O nodes — execution time:\n", nio)
+				fmt.Fprintf(w, "  %8s", "cached%")
+				for _, p := range procs {
+					fmt.Fprintf(w, " %10s", fmt.Sprintf("P=%d", p))
+				}
+				fmt.Fprintln(w)
+				for _, c := range cached {
+					fmt.Fprintf(w, "  %8d", c)
+					for _, p := range procs {
+						rep, err := scf.Run30(scf.Config30{
+							Machine: m, Input: in, Procs: p,
+							CachedPct: c, Balance: true,
+						})
+						if err != nil {
+							return err
+						}
+						fmt.Fprintf(w, " %10s", hms(rep.ExecSec))
+					}
+					fmt.Fprintln(w)
+				}
+				fmt.Fprintln(w)
+			}
+			return nil
+		},
+	})
+}

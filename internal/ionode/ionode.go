@@ -1,0 +1,145 @@
+// Package ionode models an I/O node: a server CPU in front of one or more
+// disks, plus an optional write-behind cache.
+//
+// Every request pays a per-request server overhead on the node's CPU
+// (capacity 1), then is serviced by the disk holding the addressed block.
+// With several disks (the SP-2's SSA arrays), blocks are spread across them
+// by the caller-supplied disk index, so independent streams can overlap.
+//
+// The write-behind cache, when enabled, completes a write after the server
+// overhead and a memory copy; the disk write drains asynchronously. Dirty
+// bytes are bounded: when the cache is full, writers block until the drain
+// catches up — so sustained load still sees disk speed, while bursts see
+// memory speed. This reproduces the PFS behaviour where write costs are
+// lower than read costs (paper Tables 2–3).
+package ionode
+
+import (
+	"fmt"
+
+	"pario/internal/disk"
+	"pario/internal/sim"
+)
+
+// Params configures an I/O node.
+type Params struct {
+	// ServerOverhead is the per-request CPU cost on the I/O node in
+	// seconds (file-system server code path).
+	ServerOverhead float64
+	// NumDisks is how many drives the node owns (>= 1).
+	NumDisks int
+	// Disk is the drive cost model, shared by all drives.
+	Disk disk.Params
+	// CacheBytes bounds dirty write-behind data; zero disables the cache.
+	CacheBytes int64
+	// CacheCopyByteTime is the per-byte memory-copy cost into the cache.
+	CacheCopyByteTime float64
+}
+
+// Validate reports obviously broken parameters.
+func (p Params) Validate() error {
+	if p.ServerOverhead < 0 || p.NumDisks < 1 || p.CacheBytes < 0 || p.CacheCopyByteTime < 0 {
+		return fmt.Errorf("ionode: invalid params %+v", p)
+	}
+	return p.Disk.Validate()
+}
+
+// Node is one I/O node.
+type Node struct {
+	eng   *sim.Engine
+	name  string
+	par   Params
+	cpu   *sim.Resource
+	disks []*disk.Disk
+
+	dirty      int64       // bytes in cache awaiting drain
+	cacheSpace *sim.Signal // re-armed whenever space frees
+
+	requests int64
+}
+
+// New builds an I/O node.
+func New(eng *sim.Engine, name string, par Params) (*Node, error) {
+	if err := par.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Node{eng: eng, name: name, par: par,
+		cpu: sim.NewResource(eng, name+".cpu", 1)}
+	for i := 0; i < par.NumDisks; i++ {
+		d, err := disk.New(eng, fmt.Sprintf("%s.disk%d", name, i), par.Disk)
+		if err != nil {
+			return nil, err
+		}
+		n.disks = append(n.disks, d)
+	}
+	return n, nil
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// NumDisks returns the drive count.
+func (n *Node) NumDisks() int { return len(n.disks) }
+
+// Disk returns drive i.
+func (n *Node) Disk(i int) *disk.Disk { return n.disks[i] }
+
+// CPU exposes the server CPU resource for contention statistics.
+func (n *Node) CPU() *sim.Resource { return n.cpu }
+
+// Requests returns the number of Access calls so far.
+func (n *Node) Requests() int64 { return n.requests }
+
+// Access services one request against drive diskIdx at the given
+// drive-local offset. Reads always wait for the disk. Writes go through the
+// write-behind cache when one is configured.
+func (n *Node) Access(p *sim.Proc, diskIdx int, off, size int64, write bool) {
+	if diskIdx < 0 || diskIdx >= len(n.disks) {
+		panic(fmt.Sprintf("ionode %s: disk index %d out of range", n.name, diskIdx))
+	}
+	n.requests++
+	if n.par.ServerOverhead > 0 {
+		n.cpu.Use(p, n.par.ServerOverhead)
+	}
+	d := n.disks[diskIdx]
+	if !write || n.par.CacheBytes == 0 {
+		d.Access(p, off, size, write)
+		return
+	}
+	// Write-behind: wait for cache space, copy in, schedule async drain.
+	for n.dirty+size > n.par.CacheBytes && n.dirty > 0 {
+		if n.cacheSpace == nil || n.cacheSpace.Fired() {
+			n.cacheSpace = sim.NewSignal(n.eng)
+		}
+		p.WaitSignal(n.cacheSpace)
+	}
+	n.dirty += size
+	if c := float64(size) * n.par.CacheCopyByteTime; c > 0 {
+		p.Delay(c)
+	}
+	n.eng.Spawn(n.name+".drain", func(w *sim.Proc) {
+		d.Access(w, off, size, true)
+		n.dirty -= size
+		if n.cacheSpace != nil && !n.cacheSpace.Fired() {
+			n.cacheSpace.Fire()
+		}
+	})
+}
+
+// DirtyBytes returns the bytes currently held in the write-behind cache.
+func (n *Node) DirtyBytes() int64 { return n.dirty }
+
+// Stats sums the statistics of all drives.
+func (n *Node) Stats() disk.Stats {
+	var s disk.Stats
+	for _, d := range n.disks {
+		ds := d.Stats()
+		s.Reads += ds.Reads
+		s.Writes += ds.Writes
+		s.BytesRead += ds.BytesRead
+		s.BytesWrite += ds.BytesWrite
+		s.Seeks += ds.Seeks
+		s.BusySec += ds.BusySec
+	}
+	return s
+}

@@ -1,0 +1,232 @@
+package ionode
+
+import (
+	"testing"
+
+	"pario/internal/disk"
+	"pario/internal/sim"
+)
+
+func testParams() Params {
+	return Params{
+		ServerOverhead: 0.5e-3,
+		NumDisks:       1,
+		Disk: disk.Params{
+			RequestOverhead: 1e-3,
+			SeekMin:         2e-3,
+			SeekMax:         20e-3,
+			FullStroke:      1 << 30,
+			ByteTime:        2e-7,
+		},
+	}
+}
+
+func newNode(t *testing.T, par Params) (*sim.Engine, *Node) {
+	t.Helper()
+	e := sim.NewEngine()
+	n, err := New(e, "io0", par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, n
+}
+
+func TestReadGoesToDisk(t *testing.T) {
+	e, n := newNode(t, testParams())
+	var took float64
+	e.Spawn("u", func(p *sim.Proc) {
+		start := p.Now()
+		n.Access(p, 0, 0, 1000, false)
+		took = p.Now() - start
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	par := testParams()
+	min := par.ServerOverhead + par.Disk.RequestOverhead + 1000*par.Disk.ByteTime
+	if took < min {
+		t.Fatalf("read took %g, want >= %g", took, min)
+	}
+	if n.Stats().Reads != 1 {
+		t.Fatalf("Reads = %d, want 1", n.Stats().Reads)
+	}
+}
+
+func TestMultipleDisksOverlap(t *testing.T) {
+	par := testParams()
+	par.NumDisks = 4
+	e, n := newNode(t, par)
+	const size = 1 << 22 // 4 MB: ~0.84 s at 5 MB/s
+	var last float64
+	for i := 0; i < 4; i++ {
+		dsk := i
+		e.Spawn("u", func(p *sim.Proc) {
+			n.Access(p, dsk, 0, size, false)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	oneXfer := float64(size) * par.Disk.ByteTime
+	if last > 1.5*oneXfer {
+		t.Fatalf("4 disks finished at %g, want ~%g (parallel)", last, oneXfer)
+	}
+}
+
+func TestSingleDiskSerializes(t *testing.T) {
+	e, n := newNode(t, testParams())
+	const size = 1 << 22
+	var last float64
+	for i := 0; i < 4; i++ {
+		e.Spawn("u", func(p *sim.Proc) {
+			n.Access(p, 0, 0, size, false)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	oneXfer := float64(size) * testParams().Disk.ByteTime
+	if last < 3.5*oneXfer {
+		t.Fatalf("4 requests on one disk finished at %g, want >= %g", last, 3.5*oneXfer)
+	}
+}
+
+func TestWriteBehindCacheFastPath(t *testing.T) {
+	par := testParams()
+	par.CacheBytes = 64 << 20
+	par.CacheCopyByteTime = 1e-9
+	e, n := newNode(t, par)
+	var took float64
+	e.Spawn("u", func(p *sim.Proc) {
+		start := p.Now()
+		n.Access(p, 0, 0, 1<<20, true)
+		took = p.Now() - start
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	diskTime := float64(1<<20) * par.Disk.ByteTime
+	if took >= diskTime {
+		t.Fatalf("cached write took %g, want << disk time %g", took, diskTime)
+	}
+	// Drain must still reach the disk by end of run.
+	if n.Stats().BytesWrite != 1<<20 {
+		t.Fatalf("BytesWrite = %d, want %d", n.Stats().BytesWrite, 1<<20)
+	}
+	if n.DirtyBytes() != 0 {
+		t.Fatalf("DirtyBytes = %d after drain, want 0", n.DirtyBytes())
+	}
+}
+
+func TestWriteBehindCacheBoundsBacklog(t *testing.T) {
+	par := testParams()
+	par.CacheBytes = 2 << 20 // small cache
+	par.CacheCopyByteTime = 1e-9
+	e, n := newNode(t, par)
+	var took float64
+	e.Spawn("u", func(p *sim.Proc) {
+		start := p.Now()
+		for i := 0; i < 8; i++ {
+			n.Access(p, 0, int64(i)<<20, 1<<20, true)
+		}
+		took = p.Now() - start
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	diskTime := float64(1<<20) * par.Disk.ByteTime
+	// With a 2 MB cache and 8 MB written, at least ~5 writes must have
+	// waited for drains, so elapsed is within a small factor of disk speed.
+	if took < 4*diskTime {
+		t.Fatalf("8 MB through 2 MB cache took %g, want >= %g (backpressure)", took, 4*diskTime)
+	}
+}
+
+func TestNoCacheWritesAreSynchronous(t *testing.T) {
+	e, n := newNode(t, testParams())
+	var took float64
+	e.Spawn("u", func(p *sim.Proc) {
+		start := p.Now()
+		n.Access(p, 0, 0, 1<<20, true)
+		took = p.Now() - start
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	diskTime := float64(1<<20) * testParams().Disk.ByteTime
+	if took < diskTime {
+		t.Fatalf("uncached write took %g, want >= %g", took, diskTime)
+	}
+}
+
+func TestServerOverheadContends(t *testing.T) {
+	par := testParams()
+	par.ServerOverhead = 10e-3
+	par.NumDisks = 4 // disks parallel; CPU is the bottleneck
+	par.Disk.ByteTime = 1e-9
+	e, n := newNode(t, par)
+	var last float64
+	for i := 0; i < 4; i++ {
+		dsk := i
+		e.Spawn("u", func(p *sim.Proc) {
+			n.Access(p, dsk, 0, 10, false)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if last < 4*par.ServerOverhead {
+		t.Fatalf("CPU-bound requests finished at %g, want >= %g", last, 4*par.ServerOverhead)
+	}
+}
+
+func TestBadDiskIndexPanics(t *testing.T) {
+	e, n := newNode(t, testParams())
+	e.Spawn("u", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("bad disk index did not panic")
+			}
+			panic("unwind")
+		}()
+		n.Access(p, 5, 0, 10, false)
+	})
+	defer func() { recover() }()
+	_ = e.Run()
+}
+
+func TestInvalidParamsRejected(t *testing.T) {
+	e := sim.NewEngine()
+	if _, err := New(e, "x", Params{}); err == nil {
+		t.Fatal("zero params accepted")
+	}
+	par := testParams()
+	par.NumDisks = 0
+	if _, err := New(e, "x", par); err == nil {
+		t.Fatal("zero disks accepted")
+	}
+}
+
+func TestRequestCounter(t *testing.T) {
+	e, n := newNode(t, testParams())
+	e.Spawn("u", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			n.Access(p, 0, int64(i)*100, 100, false)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Requests() != 5 {
+		t.Fatalf("Requests = %d, want 5", n.Requests())
+	}
+}

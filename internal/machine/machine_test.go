@@ -1,0 +1,129 @@
+package machine
+
+import (
+	"testing"
+
+	"pario/internal/topology"
+)
+
+func TestParagonSmallPartitions(t *testing.T) {
+	for _, nio := range []int{2, 4} {
+		c, err := ParagonSmall(nio)
+		if err != nil {
+			t.Fatalf("ParagonSmall(%d): %v", nio, err)
+		}
+		if c.NumIO != nio || c.NumCompute != 56 {
+			t.Fatalf("config = %d compute / %d io", c.NumCompute, c.NumIO)
+		}
+		if c.DefaultStripeUnit != 64<<10 {
+			t.Fatalf("stripe unit = %d, want 64K", c.DefaultStripeUnit)
+		}
+		if _, err := c.Topology(); err != nil {
+			t.Fatalf("topology: %v", err)
+		}
+	}
+	if _, err := ParagonSmall(3); err == nil {
+		t.Fatal("invalid partition size accepted")
+	}
+}
+
+func TestParagonLargePartitions(t *testing.T) {
+	for _, nio := range []int{12, 16, 64} {
+		c, err := ParagonLarge(nio)
+		if err != nil {
+			t.Fatalf("ParagonLarge(%d): %v", nio, err)
+		}
+		if c.NumCompute != 512 {
+			t.Fatalf("compute = %d, want 512", c.NumCompute)
+		}
+		topo, err := c.Topology()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if topo.NumIO() != nio {
+			t.Fatalf("topology io = %d, want %d", topo.NumIO(), nio)
+		}
+	}
+	if _, err := ParagonLarge(32); err == nil {
+		t.Fatal("invalid partition size accepted")
+	}
+}
+
+func TestSP2Config(t *testing.T) {
+	c, err := SP2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumIO != 4 {
+		t.Fatalf("SP-2 io nodes = %d, want 4", c.NumIO)
+	}
+	if c.Node.NumDisks != 4 {
+		t.Fatalf("SSA disks = %d, want 4", c.Node.NumDisks)
+	}
+	if c.DefaultStripeUnit != 32<<10 {
+		t.Fatalf("BSU = %d, want 32K", c.DefaultStripeUnit)
+	}
+	if c.Kind != topology.Switched {
+		t.Fatal("SP-2 should be a switched fabric")
+	}
+}
+
+func TestInterfaceCalibrationOrdering(t *testing.T) {
+	// PASSION must be cheaper per call than Fortran on the Paragon, and
+	// use explicit seeks (Table 2 vs Table 3).
+	c, err := ParagonLarge(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Passion.ReadCallSec >= c.Fortran.ReadCallSec {
+		t.Fatal("PASSION read call not cheaper than Fortran")
+	}
+	if c.Passion.WriteCallSec >= c.Fortran.WriteCallSec {
+		t.Fatal("PASSION write call not cheaper than Fortran")
+	}
+	if !c.Passion.ExplicitSeeks || c.Fortran.ExplicitSeeks {
+		t.Fatal("seek disciplines wrong")
+	}
+	if c.Passion.SeekSec >= c.Fortran.SeekSec {
+		t.Fatal("PASSION seek call not cheaper than Fortran seek")
+	}
+}
+
+func TestCalibrationMatchesTable2Residue(t *testing.T) {
+	// The fitted per-read total for a 64 KB Fortran read should be near
+	// the paper's measured 106 ms: client call + seek-free disk + server
+	// + wire.
+	c, err := ParagonLarge(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64 << 10
+	total := c.Fortran.ReadCallSec +
+		c.Node.ServerOverhead +
+		c.Node.Disk.RequestOverhead + float64(n)*c.Node.Disk.ByteTime +
+		c.Net.Latency + float64(n)*c.Net.ByteTime
+	if total < 0.090 || total > 0.120 {
+		t.Fatalf("fitted Fortran 64K read = %g s, want ~0.106", total)
+	}
+	totalP := c.Passion.ReadCallSec + c.Passion.SeekSec +
+		c.Node.ServerOverhead +
+		c.Node.Disk.RequestOverhead + float64(n)*c.Node.Disk.ByteTime +
+		c.Net.Latency + float64(n)*c.Net.ByteTime
+	if totalP < 0.050 || totalP > 0.072 {
+		t.Fatalf("fitted PASSION 64K read = %g s, want ~0.060", totalP)
+	}
+}
+
+func TestValidateCatchesBadConfig(t *testing.T) {
+	c, _ := SP2()
+	bad := *c
+	bad.CPUFlops = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero CPU rate accepted")
+	}
+	bad2 := *c
+	bad2.NumIO = 0
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("zero I/O nodes accepted")
+	}
+}

@@ -1,0 +1,111 @@
+// Package network models the interconnect of a message-passing machine.
+//
+// A message from src to dst costs a fixed software/hardware latency, a
+// per-hop routing time, and a per-byte transfer time. The transfer portion
+// occupies the receiver's network interface (a sim.Resource), so many
+// senders targeting one node — the situation at an I/O node, or at the
+// funnel node of a Chameleon-style library — queue up and contend, which is
+// the central architectural effect the paper studies.
+package network
+
+import (
+	"fmt"
+
+	"pario/internal/sim"
+	"pario/internal/topology"
+)
+
+// Params holds the interconnect cost model.
+type Params struct {
+	// Latency is the fixed per-message cost in seconds (software stack +
+	// wire setup).
+	Latency float64
+	// ByteTime is the per-byte transfer time in seconds (1/bandwidth).
+	ByteTime float64
+	// HopTime is the per-hop routing delay in seconds.
+	HopTime float64
+	// MemCopyByteTime is the per-byte cost of a node-local transfer
+	// (src == dst), modeling a memory copy.
+	MemCopyByteTime float64
+}
+
+// Validate reports obviously broken parameters.
+func (p Params) Validate() error {
+	if p.Latency < 0 || p.ByteTime <= 0 || p.HopTime < 0 || p.MemCopyByteTime < 0 {
+		return fmt.Errorf("network: invalid params %+v", p)
+	}
+	return nil
+}
+
+// Network is the interconnect instance for one machine.
+type Network struct {
+	eng  *sim.Engine
+	topo *topology.Topology
+	par  Params
+	nics []*sim.Resource
+
+	msgs      int64
+	bytesSent int64
+}
+
+// New builds the interconnect for the given topology.
+func New(eng *sim.Engine, topo *topology.Topology, par Params) (*Network, error) {
+	if err := par.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{eng: eng, topo: topo, par: par}
+	n.nics = make([]*sim.Resource, topo.NumNodes())
+	for i := range n.nics {
+		n.nics[i] = sim.NewResource(eng, fmt.Sprintf("nic%d", i), 1)
+	}
+	return n, nil
+}
+
+// Topology returns the underlying topology.
+func (n *Network) Topology() *topology.Topology { return n.topo }
+
+// Params returns the cost model.
+func (n *Network) Params() Params { return n.par }
+
+// Send blocks p for the time to move size bytes from node src to node dst.
+// The latency and routing portions are uncontended; the bandwidth portion
+// holds dst's NIC, so concurrent senders to one destination serialize.
+// A node-local send is a memory copy and touches no NIC.
+func (n *Network) Send(p *sim.Proc, src, dst int, size int64) {
+	if size < 0 {
+		panic("network: negative message size")
+	}
+	n.msgs++
+	n.bytesSent += size
+	if src == dst {
+		if d := float64(size) * n.par.MemCopyByteTime; d > 0 {
+			p.Delay(d)
+		}
+		return
+	}
+	hops := n.topo.Hops(src, dst)
+	setup := n.par.Latency + float64(hops)*n.par.HopTime
+	if setup > 0 {
+		p.Delay(setup)
+	}
+	n.nics[dst].Use(p, float64(size)*n.par.ByteTime)
+}
+
+// TransferTime returns the uncontended time for a message, for analytic
+// estimates and tests.
+func (n *Network) TransferTime(src, dst int, size int64) float64 {
+	if src == dst {
+		return float64(size) * n.par.MemCopyByteTime
+	}
+	hops := n.topo.Hops(src, dst)
+	return n.par.Latency + float64(hops)*n.par.HopTime + float64(size)*n.par.ByteTime
+}
+
+// NIC exposes a node's interface resource (for contention statistics).
+func (n *Network) NIC(node int) *sim.Resource { return n.nics[node] }
+
+// Messages returns the number of Send calls so far.
+func (n *Network) Messages() int64 { return n.msgs }
+
+// BytesSent returns the total payload bytes moved so far.
+func (n *Network) BytesSent() int64 { return n.bytesSent }

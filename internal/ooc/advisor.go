@@ -1,0 +1,79 @@
+package ooc
+
+import "fmt"
+
+// The paper (§4.4) notes that file-layout choices "can sometimes be
+// detected by parallelizing compilers": reference [7] (Kandemir et al.,
+// ICPP'97) chooses disk layouts per array from the access patterns of the
+// program's loop nests. This file is that analysis in miniature: given the
+// rectangular sections a program touches and how often, pick the storage
+// order that minimizes the number of contiguous file runs — the quantity
+// per-request overheads and seeks are paid on.
+
+// Access is one section shape touched repeatedly by a loop nest.
+type Access struct {
+	R0, R1 int64 // row range [R0, R1)
+	C0, C1 int64 // column range [C0, C1)
+	// Times is how many times the program performs this access.
+	Times int64
+}
+
+// Validate reports a malformed access against a rows x cols array.
+func (a Access) Validate(rows, cols int64) error {
+	if a.R0 < 0 || a.R1 > rows || a.R0 > a.R1 ||
+		a.C0 < 0 || a.C1 > cols || a.C0 > a.C1 || a.Times < 0 {
+		return fmt.Errorf("ooc: bad access %+v for %dx%d array", a, rows, cols)
+	}
+	return nil
+}
+
+// runCount returns the contiguous-run count of one section under an order,
+// using the same merge rule as SectionRuns but without materializing runs.
+func runCount(rows, cols int64, order Order, a Access) int64 {
+	rSpan := a.R1 - a.R0
+	cSpan := a.C1 - a.C0
+	if rSpan == 0 || cSpan == 0 {
+		return 0
+	}
+	if order == ColMajor {
+		if rSpan == rows {
+			return 1 // full columns merge into one run
+		}
+		return cSpan
+	}
+	if cSpan == cols {
+		return 1
+	}
+	return rSpan
+}
+
+// RunCount2D returns the total run count of all accesses (weighted by
+// Times) on a rows x cols array stored in the given order.
+func RunCount2D(rows, cols int64, order Order, accesses []Access) (int64, error) {
+	var total int64
+	for _, a := range accesses {
+		if err := a.Validate(rows, cols); err != nil {
+			return 0, err
+		}
+		total += a.Times * runCount(rows, cols, order, a)
+	}
+	return total, nil
+}
+
+// ChooseOrder returns the storage order minimizing the total run count of
+// the access set, plus both counts. Ties go to column-major (the Fortran
+// default, so "do not transform" wins when it does not matter).
+func ChooseOrder(rows, cols int64, accesses []Access) (best Order, colRuns, rowRuns int64, err error) {
+	colRuns, err = RunCount2D(rows, cols, ColMajor, accesses)
+	if err != nil {
+		return ColMajor, 0, 0, err
+	}
+	rowRuns, err = RunCount2D(rows, cols, RowMajor, accesses)
+	if err != nil {
+		return ColMajor, 0, 0, err
+	}
+	if rowRuns < colRuns {
+		return RowMajor, colRuns, rowRuns, nil
+	}
+	return ColMajor, colRuns, rowRuns, nil
+}

@@ -1,0 +1,129 @@
+package ooc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAdvisorPicksRowMajorForRowPanels(t *testing.T) {
+	// The FFT transpose target: written in full-row panels. Row-major
+	// collapses each panel to one run.
+	accesses := []Access{{R0: 0, R1: 8, C0: 0, C1: 64, Times: 8}}
+	order, colRuns, rowRuns, err := ChooseOrder(64, 64, accesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order != RowMajor {
+		t.Fatalf("chose %v, want row-major", order)
+	}
+	if rowRuns != 8 || colRuns != 8*64 {
+		t.Fatalf("runs = col %d / row %d, want 512 / 8", colRuns, rowRuns)
+	}
+}
+
+func TestAdvisorPicksColMajorForColumnSweeps(t *testing.T) {
+	accesses := []Access{{R0: 0, R1: 64, C0: 0, C1: 8, Times: 8}}
+	order, _, _, err := ChooseOrder(64, 64, accesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order != ColMajor {
+		t.Fatalf("chose %v, want column-major", order)
+	}
+}
+
+func TestAdvisorTieGoesToColumnMajor(t *testing.T) {
+	// A square interior tile shatters equally under both orders.
+	accesses := []Access{{R0: 8, R1: 16, C0: 8, C1: 16, Times: 1}}
+	order, colRuns, rowRuns, err := ChooseOrder(64, 64, accesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if colRuns != rowRuns {
+		t.Fatalf("tile runs differ: %d vs %d", colRuns, rowRuns)
+	}
+	if order != ColMajor {
+		t.Fatal("tie did not default to column-major")
+	}
+}
+
+func TestAdvisorWeighsMixedAccesses(t *testing.T) {
+	// Mostly row panels with an occasional column sweep: the frequent
+	// pattern should dominate the choice.
+	accesses := []Access{
+		{R0: 0, R1: 4, C0: 0, C1: 64, Times: 100}, // row panels, hot
+		{R0: 0, R1: 64, C0: 0, C1: 4, Times: 1},   // column sweep, rare
+	}
+	order, _, _, err := ChooseOrder(64, 64, accesses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order != RowMajor {
+		t.Fatalf("chose %v despite hot row panels", order)
+	}
+}
+
+func TestAdvisorRejectsBadAccess(t *testing.T) {
+	if _, err := RunCount2D(8, 8, ColMajor, []Access{{R0: 0, R1: 9, C0: 0, C1: 1, Times: 1}}); err == nil {
+		t.Fatal("out-of-bounds access accepted")
+	}
+	if _, err := RunCount2D(8, 8, ColMajor, []Access{{R0: 0, R1: 1, C0: 0, C1: 1, Times: -1}}); err == nil {
+		t.Fatal("negative repetition accepted")
+	}
+}
+
+// Property: the advisor's run counts agree with counting SectionRuns.
+func TestRunCountMatchesSectionRunsProperty(t *testing.T) {
+	const rows, cols = 24, 16
+	colArr := &Array2D{Rows: rows, Cols: cols, Elem: 8, Order: ColMajor}
+	rowArr := &Array2D{Rows: rows, Cols: cols, Elem: 8, Order: RowMajor}
+	f := func(a0, a1, b0, b1 uint8) bool {
+		r0, r1 := int64(a0)%(rows+1), int64(a1)%(rows+1)
+		if r0 > r1 {
+			r0, r1 = r1, r0
+		}
+		c0, c1 := int64(b0)%(cols+1), int64(b1)%(cols+1)
+		if c0 > c1 {
+			c0, c1 = c1, c0
+		}
+		acc := Access{R0: r0, R1: r1, C0: c0, C1: c1, Times: 1}
+		colWant := int64(len(colArr.SectionRuns(r0, r1, c0, c1)))
+		rowWant := int64(len(rowArr.SectionRuns(r0, r1, c0, c1)))
+		colGot, err1 := RunCount2D(rows, cols, ColMajor, []Access{acc})
+		rowGot, err2 := RunCount2D(rows, cols, RowMajor, []Access{acc})
+		return err1 == nil && err2 == nil && colGot == colWant && rowGot == rowWant
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the chosen order never has more runs than the alternative.
+func TestChooseOrderOptimalProperty(t *testing.T) {
+	f := func(raw [4][4]uint8) bool {
+		const rows, cols = 32, 32
+		var accesses []Access
+		for _, v := range raw {
+			r0, r1 := int64(v[0])%(rows+1), int64(v[1])%(rows+1)
+			if r0 > r1 {
+				r0, r1 = r1, r0
+			}
+			c0, c1 := int64(v[2])%(cols+1), int64(v[3])%(cols+1)
+			if c0 > c1 {
+				c0, c1 = c1, c0
+			}
+			accesses = append(accesses, Access{R0: r0, R1: r1, C0: c0, C1: c1, Times: int64(v[0]%5) + 1})
+		}
+		order, colRuns, rowRuns, err := ChooseOrder(rows, cols, accesses)
+		if err != nil {
+			return false
+		}
+		if order == ColMajor {
+			return colRuns <= rowRuns
+		}
+		return rowRuns < colRuns
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+package ooc_test
+
+import (
+	"fmt"
+
+	"pario/internal/ooc"
+)
+
+// Example shows how storage order decides the run structure of the same
+// section — the heart of the paper's §4.4 layout optimization.
+func Example() {
+	col, _ := ooc.NewArray2D(1024, 1024, 16, ooc.ColMajor, 0)
+	row, _ := ooc.NewArray2D(1024, 1024, 16, ooc.RowMajor, 0)
+
+	// A panel of 8 full rows (what the FFT transpose writes):
+	fmt.Printf("column-major: %d runs\n", len(col.SectionRuns(0, 8, 0, 1024)))
+	fmt.Printf("row-major:    %d runs\n", len(row.SectionRuns(0, 8, 0, 1024)))
+	// Output:
+	// column-major: 1024 runs
+	// row-major:    1 runs
+}
+
+// ExampleChooseOrder shows the compiler-style layout advisor picking the
+// order that minimizes file requests for a program's access pattern.
+func ExampleChooseOrder() {
+	// The program writes full-row panels 128 times.
+	accesses := []ooc.Access{{R0: 0, R1: 8, C0: 0, C1: 1024, Times: 128}}
+	order, colRuns, rowRuns, _ := ooc.ChooseOrder(1024, 1024, accesses)
+	fmt.Printf("choose %v (col-major would cost %d runs, row-major %d)\n",
+		order, colRuns, rowRuns)
+	// Output:
+	// choose row-major (col-major would cost 131072 runs, row-major 128)
+}

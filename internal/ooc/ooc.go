@@ -1,0 +1,158 @@
+// Package ooc describes disk-resident (out-of-core) arrays: how a 2-D or
+// 3-D array is linearized into a file, and which contiguous file runs a
+// rectangular section touches. It is pure geometry — no I/O — and is the
+// layer where the paper's file-layout optimization (§4.4) acts: the same
+// section of the same array decomposes into few long runs under one storage
+// order and many short runs under the other.
+package ooc
+
+import "fmt"
+
+// Order is the linearization order of an array in its file.
+type Order int
+
+const (
+	// ColMajor stores column by column (Fortran default): element (r, c)
+	// lies at (c*rows + r) elements from the array base.
+	ColMajor Order = iota
+	// RowMajor stores row by row: element (r, c) lies at (r*cols + c).
+	RowMajor
+)
+
+func (o Order) String() string {
+	if o == ColMajor {
+		return "column-major"
+	}
+	return "row-major"
+}
+
+// Run is a contiguous byte range in a file.
+type Run struct {
+	Off int64
+	Len int64
+}
+
+// appendRun adds [off, off+n) to runs, merging with the previous run when
+// adjacent.
+func appendRun(runs []Run, off, n int64) []Run {
+	if last := len(runs) - 1; last >= 0 && runs[last].Off+runs[last].Len == off {
+		runs[last].Len += n
+		return runs
+	}
+	return append(runs, Run{Off: off, Len: n})
+}
+
+// Array2D is a dense 2-D array stored in a file starting at Base.
+type Array2D struct {
+	Rows, Cols int64
+	Elem       int64 // bytes per element
+	Order      Order
+	Base       int64 // byte offset of element (0,0) within the file
+}
+
+// NewArray2D validates and returns the descriptor.
+func NewArray2D(rows, cols, elem int64, order Order, base int64) (*Array2D, error) {
+	if rows <= 0 || cols <= 0 || elem <= 0 || base < 0 {
+		return nil, fmt.Errorf("ooc: bad 2-D array rows=%d cols=%d elem=%d base=%d", rows, cols, elem, base)
+	}
+	return &Array2D{Rows: rows, Cols: cols, Elem: elem, Order: order, Base: base}, nil
+}
+
+// SizeBytes returns the array's total footprint.
+func (a *Array2D) SizeBytes() int64 { return a.Rows * a.Cols * a.Elem }
+
+// Offset returns the file byte offset of element (r, c).
+func (a *Array2D) Offset(r, c int64) int64 {
+	if r < 0 || r >= a.Rows || c < 0 || c >= a.Cols {
+		panic(fmt.Sprintf("ooc: element (%d,%d) outside %dx%d", r, c, a.Rows, a.Cols))
+	}
+	if a.Order == ColMajor {
+		return a.Base + (c*a.Rows+r)*a.Elem
+	}
+	return a.Base + (r*a.Cols+c)*a.Elem
+}
+
+// SectionRuns returns the contiguous file runs covering the half-open
+// section [r0, r1) x [c0, c1), in increasing offset order, with adjacent
+// runs merged. A full-minor-dimension section of k major lines collapses
+// into a single run of k lines.
+func (a *Array2D) SectionRuns(r0, r1, c0, c1 int64) []Run {
+	if r0 < 0 || r1 > a.Rows || c0 < 0 || c1 > a.Cols || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("ooc: bad section [%d,%d)x[%d,%d) of %dx%d", r0, r1, c0, c1, a.Rows, a.Cols))
+	}
+	if r0 == r1 || c0 == c1 {
+		return nil
+	}
+	var runs []Run
+	if a.Order == ColMajor {
+		lineLen := (r1 - r0) * a.Elem
+		for c := c0; c < c1; c++ {
+			runs = appendRun(runs, a.Offset(r0, c), lineLen)
+		}
+		return runs
+	}
+	lineLen := (c1 - c0) * a.Elem
+	for r := r0; r < r1; r++ {
+		runs = appendRun(runs, a.Offset(r, c0), lineLen)
+	}
+	return runs
+}
+
+// Array3D is a dense 3-D array of small element vectors (ncomp components
+// of elem bytes each), stored x-fastest then y then z — the NAS BT solution
+// array layout u(ncomp, x, y, z) in Fortran order.
+type Array3D struct {
+	NX, NY, NZ int64
+	Comp       int64 // components per grid point
+	Elem       int64 // bytes per component
+	Base       int64
+}
+
+// NewArray3D validates and returns the descriptor.
+func NewArray3D(nx, ny, nz, comp, elem, base int64) (*Array3D, error) {
+	if nx <= 0 || ny <= 0 || nz <= 0 || comp <= 0 || elem <= 0 || base < 0 {
+		return nil, fmt.Errorf("ooc: bad 3-D array %dx%dx%d comp=%d elem=%d", nx, ny, nz, comp, elem)
+	}
+	return &Array3D{NX: nx, NY: ny, NZ: nz, Comp: comp, Elem: elem, Base: base}, nil
+}
+
+// SizeBytes returns the array's total footprint.
+func (a *Array3D) SizeBytes() int64 { return a.NX * a.NY * a.NZ * a.Comp * a.Elem }
+
+// Offset returns the file byte offset of grid point (x, y, z), component 0.
+func (a *Array3D) Offset(x, y, z int64) int64 {
+	if x < 0 || x >= a.NX || y < 0 || y >= a.NY || z < 0 || z >= a.NZ {
+		panic(fmt.Sprintf("ooc: point (%d,%d,%d) outside %dx%dx%d", x, y, z, a.NX, a.NY, a.NZ))
+	}
+	return a.Base + ((z*a.NY+y)*a.NX+x)*a.Comp*a.Elem
+}
+
+// SectionRuns returns the contiguous runs of the block
+// [x0,x1) x [y0,y1) x [z0,z1), merged where the section spans full lower
+// dimensions.
+func (a *Array3D) SectionRuns(x0, x1, y0, y1, z0, z1 int64) []Run {
+	if x0 < 0 || x1 > a.NX || y0 < 0 || y1 > a.NY || z0 < 0 || z1 > a.NZ ||
+		x0 > x1 || y0 > y1 || z0 > z1 {
+		panic(fmt.Sprintf("ooc: bad block [%d,%d)x[%d,%d)x[%d,%d)", x0, x1, y0, y1, z0, z1))
+	}
+	if x0 == x1 || y0 == y1 || z0 == z1 {
+		return nil
+	}
+	lineLen := (x1 - x0) * a.Comp * a.Elem
+	var runs []Run
+	for z := z0; z < z1; z++ {
+		for y := y0; y < y1; y++ {
+			runs = appendRun(runs, a.Offset(x0, y, z), lineLen)
+		}
+	}
+	return runs
+}
+
+// TotalBytes sums the lengths of runs.
+func TotalBytes(runs []Run) int64 {
+	var n int64
+	for _, r := range runs {
+		n += r.Len
+	}
+	return n
+}

@@ -1,0 +1,249 @@
+package ooc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func must2D(t *testing.T, rows, cols, elem int64, o Order, base int64) *Array2D {
+	t.Helper()
+	a, err := NewArray2D(rows, cols, elem, o, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestOffsetColMajor(t *testing.T) {
+	a := must2D(t, 10, 5, 8, ColMajor, 0)
+	if got := a.Offset(3, 2); got != (2*10+3)*8 {
+		t.Fatalf("Offset(3,2) = %d, want %d", got, (2*10+3)*8)
+	}
+}
+
+func TestOffsetRowMajor(t *testing.T) {
+	a := must2D(t, 10, 5, 8, RowMajor, 100)
+	if got := a.Offset(3, 2); got != 100+(3*5+2)*8 {
+		t.Fatalf("Offset(3,2) = %d, want %d", got, 100+(3*5+2)*8)
+	}
+}
+
+func TestFullColumnsMergeColMajor(t *testing.T) {
+	a := must2D(t, 10, 5, 8, ColMajor, 0)
+	runs := a.SectionRuns(0, 10, 1, 4) // 3 full columns
+	if len(runs) != 1 {
+		t.Fatalf("runs = %d, want 1 merged run", len(runs))
+	}
+	if runs[0].Off != 10*8 || runs[0].Len != 3*10*8 {
+		t.Fatalf("run = %+v", runs[0])
+	}
+}
+
+func TestPartialColumnsDoNotMerge(t *testing.T) {
+	a := must2D(t, 10, 5, 8, ColMajor, 0)
+	runs := a.SectionRuns(2, 6, 0, 5) // rows 2..5 of each column
+	if len(runs) != 5 {
+		t.Fatalf("runs = %d, want 5", len(runs))
+	}
+	for i, r := range runs {
+		if r.Len != 4*8 {
+			t.Fatalf("run %d len = %d, want 32", i, r.Len)
+		}
+	}
+}
+
+func TestLayoutAsymmetry(t *testing.T) {
+	// The FFT transpose reads column panels and writes row panels. Under
+	// column-major both, one side shatters; making the destination
+	// row-major collapses it to one run. This asymmetry is the paper's
+	// §4.4 optimization.
+	col := must2D(t, 64, 64, 16, ColMajor, 0)
+	row := must2D(t, 64, 64, 16, RowMajor, 0)
+	rowPanelCol := col.SectionRuns(0, 8, 0, 64) // 8 rows, col-major: 64 runs
+	rowPanelRow := row.SectionRuns(0, 8, 0, 64) // 8 rows, row-major: 1 run
+	if len(rowPanelCol) != 64 {
+		t.Fatalf("col-major row panel runs = %d, want 64", len(rowPanelCol))
+	}
+	if len(rowPanelRow) != 1 {
+		t.Fatalf("row-major row panel runs = %d, want 1", len(rowPanelRow))
+	}
+}
+
+func TestEmptySection(t *testing.T) {
+	a := must2D(t, 10, 5, 8, ColMajor, 0)
+	if runs := a.SectionRuns(3, 3, 0, 5); runs != nil {
+		t.Fatalf("empty row section gave %v", runs)
+	}
+	if runs := a.SectionRuns(0, 10, 2, 2); runs != nil {
+		t.Fatalf("empty col section gave %v", runs)
+	}
+}
+
+func TestBadSectionPanics(t *testing.T) {
+	a := must2D(t, 10, 5, 8, ColMajor, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-bounds section did not panic")
+		}
+	}()
+	a.SectionRuns(0, 11, 0, 5)
+}
+
+func TestBadArrayRejected(t *testing.T) {
+	if _, err := NewArray2D(0, 5, 8, ColMajor, 0); err == nil {
+		t.Fatal("zero rows accepted")
+	}
+	if _, err := NewArray3D(4, 4, 0, 5, 8, 0); err == nil {
+		t.Fatal("zero nz accepted")
+	}
+}
+
+// Property: section runs cover exactly the section's bytes, are sorted by
+// offset, non-overlapping, and fall inside the array footprint.
+func TestSectionRunsWellFormedProperty(t *testing.T) {
+	check := func(o Order) func(r0, r1, c0, c1 uint8) bool {
+		a := &Array2D{Rows: 32, Cols: 24, Elem: 8, Order: o, Base: 64}
+		return func(r0, r1, c0, c1 uint8) bool {
+			lo := func(v uint8, n int64) int64 { return int64(v) % (n + 1) }
+			x0, x1 := lo(r0, 32), lo(r1, 32)
+			if x0 > x1 {
+				x0, x1 = x1, x0
+			}
+			y0, y1 := lo(c0, 24), lo(c1, 24)
+			if y0 > y1 {
+				y0, y1 = y1, y0
+			}
+			runs := a.SectionRuns(x0, x1, y0, y1)
+			var covered int64
+			prevEnd := int64(-1)
+			for _, r := range runs {
+				if r.Len <= 0 || r.Off <= prevEnd {
+					return false
+				}
+				if r.Off < a.Base || r.Off+r.Len > a.Base+a.SizeBytes() {
+					return false
+				}
+				prevEnd = r.Off + r.Len - 1
+				covered += r.Len
+			}
+			return covered == (x1-x0)*(y1-y0)*a.Elem
+		}
+	}
+	if err := quick.Check(check(ColMajor), nil); err != nil {
+		t.Fatal("col-major:", err)
+	}
+	if err := quick.Check(check(RowMajor), nil); err != nil {
+		t.Fatal("row-major:", err)
+	}
+}
+
+// Property: transposed sections under swapped orders produce identical run
+// structure (layout duality).
+func TestLayoutDualityProperty(t *testing.T) {
+	col := &Array2D{Rows: 16, Cols: 12, Elem: 4, Order: ColMajor}
+	row := &Array2D{Rows: 12, Cols: 16, Elem: 4, Order: RowMajor}
+	f := func(a0, a1, b0, b1 uint8) bool {
+		r0, r1 := int64(a0)%17, int64(a1)%17
+		if r0 > r1 {
+			r0, r1 = r1, r0
+		}
+		c0, c1 := int64(b0)%13, int64(b1)%13
+		if c0 > c1 {
+			c0, c1 = c1, c0
+		}
+		x := col.SectionRuns(r0, r1, c0, c1)
+		y := row.SectionRuns(c0, c1, r0, r1)
+		if len(x) != len(y) {
+			return false
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func Test3DOffset(t *testing.T) {
+	a, err := NewArray3D(4, 5, 6, 5, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ((2*5+3)*4 + 1) * 5 * 8
+	if got := a.Offset(1, 3, 2); got != int64(want) {
+		t.Fatalf("Offset(1,3,2) = %d, want %d", got, want)
+	}
+}
+
+func Test3DBlockRunCount(t *testing.T) {
+	// The BT multipartition case: a block with partial x-range shatters
+	// into one run per (y, z) line.
+	a, err := NewArray3D(64, 64, 64, 5, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := a.SectionRuns(0, 8, 0, 8, 0, 8)
+	if len(runs) != 64 {
+		t.Fatalf("block runs = %d, want 64", len(runs))
+	}
+	if runs[0].Len != 8*5*8 {
+		t.Fatalf("run len = %d, want %d", runs[0].Len, 8*5*8)
+	}
+}
+
+func Test3DFullPlaneMerges(t *testing.T) {
+	a, err := NewArray3D(8, 8, 8, 1, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := a.SectionRuns(0, 8, 0, 8, 2, 4) // two full planes
+	if len(runs) != 1 {
+		t.Fatalf("full-plane runs = %d, want 1", len(runs))
+	}
+	if runs[0].Len != 2*8*8*8 {
+		t.Fatalf("run len = %d", runs[0].Len)
+	}
+}
+
+func Test3DCoverageProperty(t *testing.T) {
+	a := &Array3D{NX: 12, NY: 10, NZ: 8, Comp: 5, Elem: 8}
+	f := func(v [6]uint8) bool {
+		b := func(x uint8, n int64) int64 { return int64(x) % (n + 1) }
+		x0, x1 := b(v[0], 12), b(v[1], 12)
+		if x0 > x1 {
+			x0, x1 = x1, x0
+		}
+		y0, y1 := b(v[2], 10), b(v[3], 10)
+		if y0 > y1 {
+			y0, y1 = y1, y0
+		}
+		z0, z1 := b(v[4], 8), b(v[5], 8)
+		if z0 > z1 {
+			z0, z1 = z1, z0
+		}
+		runs := a.SectionRuns(x0, x1, y0, y1, z0, z1)
+		return TotalBytes(runs) == (x1-x0)*(y1-y0)*(z1-z0)*5*8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	if TotalBytes(nil) != 0 {
+		t.Fatal("TotalBytes(nil) != 0")
+	}
+	if TotalBytes([]Run{{0, 5}, {10, 7}}) != 12 {
+		t.Fatal("TotalBytes sum wrong")
+	}
+}
+
+func TestOrderString(t *testing.T) {
+	if ColMajor.String() != "column-major" || RowMajor.String() != "row-major" {
+		t.Fatal("Order.String mismatch")
+	}
+}

@@ -1,0 +1,294 @@
+// Package pfs models a striped parallel file system in the style of the
+// Intel Paragon's PFS and the IBM SP-2's PIOFS.
+//
+// A file has a layout: a stripe unit, a stripe factor (how many I/O nodes
+// it spans) and a first node; stripes are assigned to I/O nodes round-robin
+// (PFS default; PIOFS calls the unit a BSU). A byte range therefore maps to
+// a list of chunks, each addressed to one I/O node at a node-local offset.
+// Node-local bytes are backed by per-file extents carved from a bump
+// allocator per node, so a file's blocks on one node are (mostly)
+// physically contiguous — the property that makes large sequential requests
+// fast and interleaved small requests seek-bound.
+//
+// Transfer moves a byte range between a compute node's memory and the file:
+// request and data messages cross the network, and each chunk is serviced
+// by its I/O node's disk queue. Chunks on distinct I/O nodes proceed in
+// parallel; chunks on one node stay in issue order.
+package pfs
+
+import (
+	"fmt"
+
+	"pario/internal/ionode"
+	"pario/internal/network"
+	"pario/internal/sim"
+)
+
+// Layout is a file's striping description.
+type Layout struct {
+	// StripeUnit is the bytes per stripe (64 KB on PFS, 32 KB on PIOFS).
+	StripeUnit int64
+	// StripeFactor is how many I/O nodes the file spans.
+	StripeFactor int
+	// FirstNode is the I/O node (index into the FS's node list) holding
+	// stripe 0.
+	FirstNode int
+}
+
+// Validate reports an invalid layout for a system with nio I/O nodes.
+func (l Layout) Validate(nio int) error {
+	if l.StripeUnit <= 0 {
+		return fmt.Errorf("pfs: stripe unit %d must be positive", l.StripeUnit)
+	}
+	if l.StripeFactor < 1 || l.StripeFactor > nio {
+		return fmt.Errorf("pfs: stripe factor %d out of range [1,%d]", l.StripeFactor, nio)
+	}
+	if l.FirstNode < 0 || l.FirstNode >= nio {
+		return fmt.Errorf("pfs: first node %d out of range [0,%d)", l.FirstNode, nio)
+	}
+	return nil
+}
+
+// Chunk is the portion of a request that lands on a single I/O node.
+type Chunk struct {
+	// Node is the FS-local I/O node index.
+	Node int
+	// Disk is the drive within that node.
+	Disk int
+	// DiskOff is the drive-local byte offset.
+	DiskOff int64
+	// FileOff is where this chunk begins in the file.
+	FileOff int64
+	// Len is the chunk length in bytes.
+	Len int64
+}
+
+// RequestMsgBytes is the size of a request/ack control message.
+const RequestMsgBytes = 64
+
+// extent is a contiguous drive region backing part of a file's data on one
+// node.
+type extent struct {
+	localStart int64 // node-local file byte where the extent begins
+	diskStart  int64
+	length     int64
+}
+
+// FS is one parallel file system instance.
+type FS struct {
+	eng        *sim.Engine
+	net        *network.Network
+	nodes      []*ionode.Node
+	nodeGlobal []int   // topology index of each I/O node
+	nextFree   []int64 // bump allocator per node (byte offset on its drives)
+	files      map[string]*File
+}
+
+// New builds a file system over the I/O partition of the network's
+// topology. One ionode.Node is created per topology I/O node.
+func New(eng *sim.Engine, net *network.Network, nodePar ionode.Params) (*FS, error) {
+	topo := net.Topology()
+	fs := &FS{
+		eng:   eng,
+		net:   net,
+		files: make(map[string]*File),
+	}
+	for i := 0; i < topo.NumIO(); i++ {
+		n, err := ionode.New(eng, fmt.Sprintf("io%d", i), nodePar)
+		if err != nil {
+			return nil, err
+		}
+		fs.nodes = append(fs.nodes, n)
+		fs.nodeGlobal = append(fs.nodeGlobal, topo.IONode(i))
+	}
+	fs.nextFree = make([]int64, len(fs.nodes))
+	return fs, nil
+}
+
+// Engine returns the simulation engine the FS runs on.
+func (fs *FS) Engine() *sim.Engine { return fs.eng }
+
+// NumIONodes returns the I/O node count.
+func (fs *FS) NumIONodes() int { return len(fs.nodes) }
+
+// IONode returns node i.
+func (fs *FS) IONode(i int) *ionode.Node { return fs.nodes[i] }
+
+// Network returns the interconnect the FS is attached to.
+func (fs *FS) Network() *network.Network { return fs.net }
+
+// File is a striped file. It records only metadata; contents are implicit.
+type File struct {
+	fs      *FS
+	name    string
+	layout  Layout
+	size    int64      // high-water mark of written bytes
+	extents [][]extent // per stripe-factor-relative node
+}
+
+// Create makes (or truncates) a file with the given layout. sizeHint, when
+// positive, preallocates contiguous per-node extents for that many bytes;
+// writes beyond the hint grow the file with additional extents.
+func (fs *FS) Create(name string, layout Layout, sizeHint int64) (*File, error) {
+	if err := layout.Validate(len(fs.nodes)); err != nil {
+		return nil, err
+	}
+	f := &File{
+		fs:      fs,
+		name:    name,
+		layout:  layout,
+		extents: make([][]extent, layout.StripeFactor),
+	}
+	if sizeHint > 0 {
+		perNode := f.nodeShare(sizeHint)
+		for rel := 0; rel < layout.StripeFactor; rel++ {
+			f.grow(rel, perNode)
+		}
+	}
+	fs.files[name] = f
+	return f, nil
+}
+
+// Lookup returns a previously created file, or nil.
+func (fs *FS) Lookup(name string) *File { return fs.files[name] }
+
+// nodeShare returns the node-local bytes needed to hold a file of total
+// bytes under this layout.
+func (f *File) nodeShare(total int64) int64 {
+	su := f.layout.StripeUnit
+	stripes := (total + su - 1) / su
+	perNode := (stripes + int64(f.layout.StripeFactor) - 1) / int64(f.layout.StripeFactor)
+	return perNode * su
+}
+
+// grow appends an extent of length n to the file's storage on relative
+// node rel.
+func (f *File) grow(rel int, n int64) {
+	node := (f.layout.FirstNode + rel) % len(f.fs.nodes)
+	exts := f.extents[rel]
+	var localStart int64
+	if len(exts) > 0 {
+		last := exts[len(exts)-1]
+		localStart = last.localStart + last.length
+	}
+	f.extents[rel] = append(exts, extent{
+		localStart: localStart,
+		diskStart:  f.fs.nextFree[node],
+		length:     n,
+	})
+	f.fs.nextFree[node] += n
+}
+
+// growthQuantum is the extent size used when a write outruns the size hint.
+const growthQuantum = 8 << 20
+
+// localToDisk translates a node-local file offset to a drive offset,
+// growing the file if needed.
+func (f *File) localToDisk(rel int, local int64) int64 {
+	for {
+		for _, e := range f.extents[rel] {
+			if local >= e.localStart && local < e.localStart+e.length {
+				return e.diskStart + (local - e.localStart)
+			}
+		}
+		f.grow(rel, growthQuantum)
+	}
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Layout returns the file layout.
+func (f *File) Layout() Layout { return f.layout }
+
+// Size returns the written high-water mark.
+func (f *File) Size() int64 { return f.size }
+
+// MapRange splits [off, off+size) into per-I/O-node chunks in file order.
+func (f *File) MapRange(off, size int64) []Chunk {
+	if off < 0 || size < 0 {
+		panic(fmt.Sprintf("pfs: bad range off=%d size=%d", off, size))
+	}
+	su := f.layout.StripeUnit
+	factor := int64(f.layout.StripeFactor)
+	var chunks []Chunk
+	for size > 0 {
+		stripe := off / su
+		within := off % su
+		n := su - within
+		if n > size {
+			n = size
+		}
+		rel := int(stripe % factor)
+		node := (f.layout.FirstNode + rel) % len(f.fs.nodes)
+		local := (stripe/factor)*su + within
+		diskOff := f.localToDisk(rel, local)
+		nd := f.fs.nodes[node]
+		dsk := 0
+		if nd.NumDisks() > 1 {
+			dsk = int((stripe / factor) % int64(nd.NumDisks()))
+		}
+		chunks = append(chunks, Chunk{
+			Node: node, Disk: dsk, DiskOff: diskOff, FileOff: off, Len: n,
+		})
+		off += n
+		size -= n
+	}
+	return chunks
+}
+
+// Transfer moves [off, off+size) between the memory of the compute node
+// with topology index clientNode and the file, blocking p until all chunks
+// complete. Chunks for distinct I/O nodes proceed in parallel; chunks for
+// one node are issued in file order.
+func (f *File) Transfer(p *sim.Proc, clientNode int, off, size int64, write bool) {
+	if size == 0 {
+		return
+	}
+	chunks := f.MapRange(off, size)
+	if write && off+size > f.size {
+		f.size = off + size
+	}
+	// Group chunks by I/O node, preserving order within a node.
+	byNode := make(map[int][]Chunk, f.layout.StripeFactor)
+	var order []int
+	for _, c := range chunks {
+		if _, ok := byNode[c.Node]; !ok {
+			order = append(order, c.Node)
+		}
+		byNode[c.Node] = append(byNode[c.Node], c)
+	}
+	if len(order) == 1 {
+		f.serveNode(p, clientNode, byNode[order[0]], write)
+		return
+	}
+	wg := sim.NewWaitGroup(p.Engine())
+	for _, node := range order {
+		list := byNode[node]
+		wg.Go("pfs.xfer", func(c *sim.Proc) {
+			f.serveNode(c, clientNode, list, write)
+		})
+	}
+	wg.Wait(p)
+}
+
+// serveNode performs an ordered chunk list against one I/O node.
+func (f *File) serveNode(p *sim.Proc, clientNode int, list []Chunk, write bool) {
+	fs := f.fs
+	for _, c := range list {
+		global := fs.nodeGlobal[c.Node]
+		nd := fs.nodes[c.Node]
+		if write {
+			// Data travels with the request to the I/O node.
+			fs.net.Send(p, clientNode, global, RequestMsgBytes+c.Len)
+			nd.Access(p, c.Disk, c.DiskOff, c.Len, true)
+		} else {
+			fs.net.Send(p, clientNode, global, RequestMsgBytes)
+			nd.Access(p, c.Disk, c.DiskOff, c.Len, false)
+			fs.net.Send(p, global, clientNode, c.Len)
+		}
+	}
+}
+
+// TopologyIndexOf returns the global topology index of FS I/O node i.
+func (fs *FS) TopologyIndexOf(i int) int { return fs.nodeGlobal[i] }

@@ -1,0 +1,99 @@
+package pio
+
+import (
+	"pario/internal/sim"
+	"pario/internal/trace"
+)
+
+// AsyncRead is an in-flight background read issued by ReadAsync.
+type AsyncRead struct {
+	h    *Handle
+	off  int64
+	n    int64
+	done *sim.Signal
+}
+
+// ReadAsync starts reading n bytes at off in a background process and
+// returns immediately. The caller later calls Await. The background read
+// pays the full interface and transfer costs but is not charged to the
+// caller; Await charges the wait time plus a memory-copy cost, which is the
+// paper's measurement convention for the prefetching versions ("we take
+// into account the I/O, wait and copy times").
+func (h *Handle) ReadAsync(off, n int64) *AsyncRead {
+	ar := &AsyncRead{h: h, off: off, n: n}
+	ar.done = sim.NewSignal(h.engine())
+	h.engine().Spawn("pio.prefetch", func(bg *sim.Proc) {
+		if h.c.par.ReadCallSec > 0 {
+			bg.Delay(h.c.par.ReadCallSec)
+		}
+		h.f.Transfer(bg, h.c.node, off, n, false)
+		ar.done.Fire()
+	})
+	return ar
+}
+
+// engine digs the simulation engine out of the client's resources.
+func (h *Handle) engine() *sim.Engine { return h.c.fs.Engine() }
+
+// Await blocks until the read completes, then charges the wait plus the
+// buffer copy and records a Read of n bytes.
+func (h *Handle) Await(p *sim.Proc, ar *AsyncRead) {
+	start := p.Now()
+	p.WaitSignal(ar.done)
+	if ct := float64(ar.n) * h.c.fs.Network().Params().MemCopyByteTime; ct > 0 {
+		p.Delay(ct)
+	}
+	h.pos = ar.off + ar.n
+	h.c.rec.Record(trace.Read, p.Now()-start, ar.n)
+}
+
+// Prefetcher drives a sequential read stream through ReadAsync with a
+// fixed number of buffers in flight — PASSION's prefetch interface. With
+// depth d, the next d chunks are always being fetched while the caller
+// computes on the current one.
+type Prefetcher struct {
+	h       *Handle
+	next    int64 // file offset of the next chunk to issue
+	limit   int64 // end of the stream
+	chunk   int64
+	pending []*AsyncRead
+	depth   int
+}
+
+// NewPrefetcher builds a prefetcher reading [start, limit) in chunk-sized
+// pieces with depth buffers. depth must be >= 1.
+func NewPrefetcher(h *Handle, start, limit, chunk int64, depth int) *Prefetcher {
+	if depth < 1 {
+		panic("pio: prefetch depth must be >= 1")
+	}
+	if chunk <= 0 {
+		panic("pio: prefetch chunk must be positive")
+	}
+	return &Prefetcher{h: h, next: start, limit: limit, chunk: chunk, depth: depth}
+}
+
+// fill tops up the pipeline.
+func (pf *Prefetcher) fill() {
+	for len(pf.pending) < pf.depth && pf.next < pf.limit {
+		n := pf.chunk
+		if pf.next+n > pf.limit {
+			n = pf.limit - pf.next
+		}
+		pf.pending = append(pf.pending, pf.h.ReadAsync(pf.next, n))
+		pf.next += n
+	}
+}
+
+// Read returns the next chunk's size after it is in memory, or 0 at the end
+// of the stream. The charged time is wait + copy.
+func (pf *Prefetcher) Read(p *sim.Proc) int64 {
+	pf.fill()
+	if len(pf.pending) == 0 {
+		return 0
+	}
+	head := pf.pending[0]
+	pf.pending = pf.pending[1:]
+	pf.h.Await(p, head)
+	pf.fill()
+	return head.n
+}

@@ -1,0 +1,163 @@
+package pio
+
+import (
+	"testing"
+
+	"pario/internal/pfs"
+	"pario/internal/sim"
+	"pario/internal/trace"
+)
+
+func TestAwaitAfterComputeIsCheap(t *testing.T) {
+	// Issue an async read, compute for longer than the read takes, then
+	// await: the charged read time must be roughly just the copy.
+	e, fs := testFS(t, 2)
+	f, _ := fs.Create("x", pfs.Layout{StripeUnit: 65536, StripeFactor: 2, FirstNode: 0}, 1<<20)
+	rec := trace.NewRecorder()
+	c, _ := NewClient(fs, 0, passionLike(), rec)
+	e.Spawn("u", func(p *sim.Proc) {
+		h := c.Open(p, f)
+		ar := h.ReadAsync(0, 65536)
+		p.Delay(10) // plenty of compute
+		h.Await(p, ar)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := rec.Get(trace.Read)
+	if got.Count != 1 || got.Bytes != 65536 {
+		t.Fatalf("read stats = %+v", got)
+	}
+	if got.Sec > 0.005 {
+		t.Fatalf("hidden read charged %g s, want ~copy time only", got.Sec)
+	}
+}
+
+func TestAwaitWithoutComputeWaits(t *testing.T) {
+	e, fs := testFS(t, 2)
+	f, _ := fs.Create("x", pfs.Layout{StripeUnit: 65536, StripeFactor: 2, FirstNode: 0}, 1<<20)
+	rec := trace.NewRecorder()
+	c, _ := NewClient(fs, 0, passionLike(), rec)
+	e.Spawn("u", func(p *sim.Proc) {
+		h := c.Open(p, f)
+		ar := h.ReadAsync(0, 65536)
+		h.Await(p, ar) // immediate await: pays the whole read
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sec := rec.Get(trace.Read).Sec; sec < 0.01 {
+		t.Fatalf("unhidden read charged %g s, want the full read latency", sec)
+	}
+}
+
+func TestPrefetcherStreamsWholeRange(t *testing.T) {
+	e, fs := testFS(t, 2)
+	const total = 10 * 65536
+	f, _ := fs.Create("x", pfs.Layout{StripeUnit: 65536, StripeFactor: 2, FirstNode: 0}, total)
+	rec := trace.NewRecorder()
+	c, _ := NewClient(fs, 0, passionLike(), rec)
+	var got int64
+	e.Spawn("u", func(p *sim.Proc) {
+		h := c.Open(p, f)
+		pf := NewPrefetcher(h, 0, total, 65536, 2)
+		for {
+			n := pf.Read(p)
+			if n == 0 {
+				break
+			}
+			got += n
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != total {
+		t.Fatalf("streamed %d bytes, want %d", got, total)
+	}
+	if n := rec.Get(trace.Read).Count; n != 10 {
+		t.Fatalf("read count = %d, want 10", n)
+	}
+}
+
+func TestPrefetcherShortTail(t *testing.T) {
+	e, fs := testFS(t, 2)
+	const total = 2*65536 + 1000 // last chunk is partial
+	f, _ := fs.Create("x", pfs.Layout{StripeUnit: 65536, StripeFactor: 2, FirstNode: 0}, total)
+	c, _ := NewClient(fs, 0, passionLike(), nil)
+	var sizes []int64
+	e.Spawn("u", func(p *sim.Proc) {
+		h := c.Open(p, f)
+		pf := NewPrefetcher(h, 0, total, 65536, 1)
+		for {
+			n := pf.Read(p)
+			if n == 0 {
+				break
+			}
+			sizes = append(sizes, n)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 3 || sizes[2] != 1000 {
+		t.Fatalf("chunk sizes = %v, want [65536 65536 1000]", sizes)
+	}
+}
+
+func TestPrefetcherHidesIOUnderCompute(t *testing.T) {
+	// Compare a compute+read loop with synchronous reads vs prefetched
+	// reads. With per-chunk compute exceeding per-chunk I/O, prefetching
+	// must hide nearly all of it.
+	const chunks = 16
+	const chunk = 65536
+	const computePerChunk = 0.2
+	run := func(prefetch bool) float64 {
+		e, fs := testFS(t, 2)
+		f, _ := fs.Create("x", pfs.Layout{StripeUnit: 65536, StripeFactor: 2, FirstNode: 0}, chunks*chunk)
+		rec := trace.NewRecorder()
+		c, _ := NewClient(fs, 0, passionLike(), rec)
+		e.Spawn("u", func(p *sim.Proc) {
+			h := c.Open(p, f)
+			if prefetch {
+				pf := NewPrefetcher(h, 0, chunks*chunk, chunk, 1)
+				for pf.Read(p) > 0 {
+					p.Delay(computePerChunk)
+				}
+			} else {
+				for i := 0; i < chunks; i++ {
+					h.Read(p, chunk)
+					p.Delay(computePerChunk)
+				}
+			}
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Get(trace.Read).Sec
+	}
+	sync, pre := run(false), run(true)
+	if pre > sync/3 {
+		t.Fatalf("prefetched I/O time %g not well below synchronous %g", pre, sync)
+	}
+}
+
+func TestPrefetcherBadArgsPanic(t *testing.T) {
+	_, fs := testFS(t, 2)
+	f, _ := fs.Create("x", pfs.Layout{StripeUnit: 65536, StripeFactor: 2, FirstNode: 0}, 1<<20)
+	c, _ := NewClient(fs, 0, passionLike(), nil)
+	h := &Handle{c: c, f: f}
+	for _, fn := range []func(){
+		func() { NewPrefetcher(h, 0, 100, 10, 0) },
+		func() { NewPrefetcher(h, 0, 100, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad prefetcher args did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

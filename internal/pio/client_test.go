@@ -1,0 +1,220 @@
+package pio
+
+import (
+	"math"
+	"testing"
+
+	"pario/internal/disk"
+	"pario/internal/ionode"
+	"pario/internal/network"
+	"pario/internal/pfs"
+	"pario/internal/sim"
+	"pario/internal/topology"
+	"pario/internal/trace"
+)
+
+func testFS(t *testing.T, nio int) (*sim.Engine, *pfs.FS) {
+	t.Helper()
+	e := sim.NewEngine()
+	topo, err := topology.NewMesh2D(8, 8, 32, nio, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := network.New(e, topo, network.Params{
+		Latency: 50e-6, ByteTime: 1e-8, HopTime: 1e-6, MemCopyByteTime: 2e-9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := pfs.New(e, net, ionode.Params{
+		ServerOverhead: 0.5e-3,
+		NumDisks:       1,
+		Disk: disk.Params{
+			RequestOverhead: 1e-3, SeekMin: 2e-3, SeekMax: 20e-3,
+			FullStroke: 1 << 30, ByteTime: 2e-7,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, fs
+}
+
+func fortranLike() ClientParams {
+	return ClientParams{
+		Name: "fortran", OpenSec: 0.1, CloseSec: 0.03, FlushSec: 0.005,
+		ReadCallSec: 0.085, WriteCallSec: 0.065, SeekSec: 0.008,
+		ExplicitSeeks: false,
+	}
+}
+
+func passionLike() ClientParams {
+	return ClientParams{
+		Name: "passion", OpenSec: 0.034, CloseSec: 0.026, FlushSec: 0.003,
+		ReadCallSec: 0.038, WriteCallSec: 0.030, SeekSec: 0.00042,
+		ExplicitSeeks: true,
+	}
+}
+
+func TestOpenReadWriteCloseRecorded(t *testing.T) {
+	e, fs := testFS(t, 2)
+	f, _ := fs.Create("x", pfs.Layout{StripeUnit: 65536, StripeFactor: 2, FirstNode: 0}, 1<<20)
+	rec := trace.NewRecorder()
+	c, err := NewClient(fs, 0, fortranLike(), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Spawn("u", func(p *sim.Proc) {
+		h := c.Open(p, f)
+		h.Write(p, 65536)
+		h.Seek(p, 0)
+		h.Read(p, 65536)
+		h.Flush(p)
+		h.Close(p)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []trace.Op{trace.Open, trace.Read, trace.Seek, trace.Write, trace.Flush, trace.Close} {
+		if rec.Get(op).Count != 1 {
+			t.Fatalf("%v count = %d, want 1", op, rec.Get(op).Count)
+		}
+	}
+	if rec.Get(trace.Read).Bytes != 65536 {
+		t.Fatalf("read bytes = %d", rec.Get(trace.Read).Bytes)
+	}
+}
+
+func TestSequentialReadsNoImplicitSeek(t *testing.T) {
+	e, fs := testFS(t, 2)
+	f, _ := fs.Create("x", pfs.Layout{StripeUnit: 65536, StripeFactor: 2, FirstNode: 0}, 1<<20)
+	rec := trace.NewRecorder()
+	c, _ := NewClient(fs, 0, fortranLike(), rec)
+	e.Spawn("u", func(p *sim.Proc) {
+		h := c.Open(p, f)
+		for i := 0; i < 8; i++ {
+			h.Read(p, 4096)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := rec.Get(trace.Seek).Count; n != 0 {
+		t.Fatalf("sequential reads recorded %d seeks, want 0", n)
+	}
+}
+
+func TestExplicitSeeksCountPerCall(t *testing.T) {
+	// The PASSION discipline: one seek per data call, even sequential —
+	// the mechanism behind the seek-count explosion in the paper's Table 3.
+	e, fs := testFS(t, 2)
+	f, _ := fs.Create("x", pfs.Layout{StripeUnit: 65536, StripeFactor: 2, FirstNode: 0}, 1<<20)
+	rec := trace.NewRecorder()
+	c, _ := NewClient(fs, 0, passionLike(), rec)
+	e.Spawn("u", func(p *sim.Proc) {
+		h := c.Open(p, f)
+		for i := 0; i < 5; i++ {
+			h.Read(p, 4096)
+		}
+		for i := 0; i < 3; i++ {
+			h.Write(p, 4096)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := rec.Get(trace.Seek).Count; n != 8 {
+		t.Fatalf("seeks = %d, want 8 (one per data call)", n)
+	}
+}
+
+func TestRandomAccessImpliesSeek(t *testing.T) {
+	e, fs := testFS(t, 2)
+	f, _ := fs.Create("x", pfs.Layout{StripeUnit: 65536, StripeFactor: 2, FirstNode: 0}, 1<<20)
+	rec := trace.NewRecorder()
+	c, _ := NewClient(fs, 0, fortranLike(), rec)
+	e.Spawn("u", func(p *sim.Proc) {
+		h := c.Open(p, f)
+		h.ReadAt(p, 0, 4096)
+		h.ReadAt(p, 500000, 4096) // jump
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := rec.Get(trace.Seek).Count; n != 1 {
+		t.Fatalf("seeks = %d, want 1", n)
+	}
+}
+
+func TestInterfaceCostDifference(t *testing.T) {
+	// Same access pattern: the PASSION-like interface must be faster, by
+	// roughly the per-call overhead delta.
+	run := func(par ClientParams) float64 {
+		e, fs := testFS(t, 2)
+		f, _ := fs.Create("x", pfs.Layout{StripeUnit: 65536, StripeFactor: 2, FirstNode: 0}, 4<<20)
+		rec := trace.NewRecorder()
+		c, _ := NewClient(fs, 0, par, rec)
+		var took float64
+		e.Spawn("u", func(p *sim.Proc) {
+			h := c.Open(p, f)
+			start := p.Now()
+			for i := 0; i < 32; i++ {
+				h.Read(p, 65536)
+			}
+			took = p.Now() - start
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return took
+	}
+	ft, pa := run(fortranLike()), run(passionLike())
+	if pa >= ft {
+		t.Fatalf("passion (%g) not faster than fortran (%g)", pa, ft)
+	}
+	delta := ft - pa
+	wantDelta := 32 * (0.085 - 0.038 - 0.00042)
+	if math.Abs(delta-wantDelta) > wantDelta/2 {
+		t.Fatalf("interface delta = %g, want ~%g", delta, wantDelta)
+	}
+}
+
+func TestPosAdvances(t *testing.T) {
+	e, fs := testFS(t, 2)
+	f, _ := fs.Create("x", pfs.Layout{StripeUnit: 65536, StripeFactor: 2, FirstNode: 0}, 1<<20)
+	c, _ := NewClient(fs, 0, fortranLike(), nil)
+	e.Spawn("u", func(p *sim.Proc) {
+		h := c.Open(p, f)
+		h.Write(p, 100)
+		if h.Pos() != 100 {
+			t.Errorf("pos = %d after write, want 100", h.Pos())
+		}
+		h.ReadAt(p, 30, 20)
+		if h.Pos() != 50 {
+			t.Errorf("pos = %d after ReadAt, want 50", h.Pos())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilRecorderAllocated(t *testing.T) {
+	_, fs := testFS(t, 2)
+	c, err := NewClient(fs, 0, fortranLike(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Recorder() == nil {
+		t.Fatal("nil recorder not replaced")
+	}
+}
+
+func TestNegativeParamsRejected(t *testing.T) {
+	_, fs := testFS(t, 2)
+	bad := fortranLike()
+	bad.ReadCallSec = -1
+	if _, err := NewClient(fs, 0, bad, nil); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package pio
+
+import (
+	"testing"
+
+	"pario/internal/ooc"
+	"pario/internal/sim"
+	"pario/internal/trace"
+)
+
+func TestFunnelReadDeliversEverything(t *testing.T) {
+	const procs = 4
+	e, recs, fn := funnelRig(t, procs, 8192)
+	for r := 0; r < procs; r++ {
+		r := r
+		e.Spawn("rank", func(p *sim.Proc) {
+			fn.Read(p, r, []ooc.Run{{Off: int64(r) * 65536, Len: 65536}})
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// All file reads happen on rank 0: 8 chunks per rank, 4 ranks.
+	r0 := recs[0].Get(trace.Read)
+	if r0.Bytes != 4*65536 {
+		t.Fatalf("rank-0 read %d bytes, want %d", r0.Bytes, 4*65536)
+	}
+	if r0.Count != 32 {
+		t.Fatalf("rank-0 reads = %d, want 32 small chunks", r0.Count)
+	}
+	// Non-zero ranks are charged read (receive) time.
+	for r := 1; r < procs; r++ {
+		rd := recs[r].Get(trace.Read)
+		if rd.Count != 8 || rd.Sec <= 0 {
+			t.Fatalf("rank %d read stats = %+v, want 8 timed chunk receives", r, rd)
+		}
+	}
+}
+
+func TestFunnelReadSerializesAtRankZero(t *testing.T) {
+	run := func(procs int) float64 {
+		e, _, fn := funnelRig(t, procs, 8192)
+		var wall float64
+		for r := 0; r < procs; r++ {
+			r := r
+			e.Spawn("rank", func(p *sim.Proc) {
+				fn.Read(p, r, []ooc.Run{{Off: int64(r) * 262144, Len: 262144}})
+				if p.Now() > wall {
+					wall = p.Now()
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return wall
+	}
+	t2, t4 := run(2), run(4)
+	if t4 < 1.6*t2 {
+		t.Fatalf("funnel read wall: 4 ranks %g vs 2 ranks %g — expected ~2x", t4, t2)
+	}
+}
+
+func TestFunnelWriteThenReadRoundTrip(t *testing.T) {
+	// The same funnel object must survive a write collective followed by
+	// a read collective (restart path).
+	const procs = 3
+	e, recs, fn := funnelRig(t, procs, 8192)
+	for r := 0; r < procs; r++ {
+		r := r
+		e.Spawn("rank", func(p *sim.Proc) {
+			runs := []ooc.Run{{Off: int64(r) * 65536, Len: 65536}}
+			fn.Write(p, r, runs)
+			fn.Read(p, r, runs)
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Get(trace.Write).Bytes != 3*65536 || recs[0].Get(trace.Read).Bytes != 3*65536 {
+		t.Fatalf("round trip volumes: %+v / %+v",
+			recs[0].Get(trace.Write), recs[0].Get(trace.Read))
+	}
+}

@@ -1,0 +1,160 @@
+package pio
+
+import (
+	"fmt"
+
+	"pario/internal/mp"
+	"pario/internal/ooc"
+	"pario/internal/sim"
+)
+
+// Collective implements two-phase collective I/O (Thakur et al., PASSION;
+// paper §4.5) over a shared file.
+//
+// In the exchange phase, ranks redistribute data over the interconnect so
+// that each rank becomes responsible for one contiguous, stripe-aligned
+// domain of the file extent being accessed. In the I/O phase, each rank
+// issues a single large request for its domain. The total request count
+// therefore grows with the number of processors — not with the number of
+// non-contiguous pieces in the application's access pattern — which is the
+// behaviour the paper measures for optimized BTIO.
+//
+// Every rank must call Write (or Read) once per collective operation, with
+// the runs it owns. All ranks' handles must refer to the same file.
+type Collective struct {
+	comm    *mp.Comm
+	handles []*Handle
+	align   int64 // domain alignment, normally the file's stripe unit
+
+	// per-operation shared staging (valid between the entry barrier and
+	// the exchange of one operation)
+	runs [][]ooc.Run
+}
+
+// NewCollective builds a collective over the per-rank handles. Handles must
+// be indexed by rank and open on the same file.
+func NewCollective(comm *mp.Comm, handles []*Handle) (*Collective, error) {
+	if comm.Size() != len(handles) {
+		return nil, fmt.Errorf("pio: %d handles for %d ranks", len(handles), comm.Size())
+	}
+	f := handles[0].File()
+	for r, h := range handles {
+		if h.File() != f {
+			return nil, fmt.Errorf("pio: rank %d handle is open on a different file", r)
+		}
+	}
+	return &Collective{
+		comm:    comm,
+		handles: handles,
+		align:   f.Layout().StripeUnit,
+		runs:    make([][]ooc.Run, comm.Size()),
+	}, nil
+}
+
+// extent returns the union [lo, hi) of all staged runs.
+func (tc *Collective) extent() (lo, hi int64) {
+	first := true
+	for _, rs := range tc.runs {
+		for _, r := range rs {
+			if first || r.Off < lo {
+				lo = r.Off
+			}
+			if first || r.Off+r.Len > hi {
+				hi = r.Off + r.Len
+			}
+			first = false
+		}
+	}
+	if first {
+		return 0, 0
+	}
+	return lo, hi
+}
+
+// domain returns rank r's stripe-aligned file domain within [lo, hi).
+func (tc *Collective) domain(r int, lo, hi int64) (int64, int64) {
+	n := int64(tc.comm.Size())
+	span := hi - lo
+	per := (span + n - 1) / n
+	per = (per + tc.align - 1) / tc.align * tc.align
+	d0 := lo + int64(r)*per
+	d1 := d0 + per
+	if d0 > hi {
+		d0 = hi
+	}
+	if d1 > hi {
+		d1 = hi
+	}
+	return d0, d1
+}
+
+// overlap returns the bytes of runs intersecting [d0, d1).
+func overlap(runs []ooc.Run, d0, d1 int64) int64 {
+	var n int64
+	for _, r := range runs {
+		lo, hi := r.Off, r.Off+r.Len
+		if lo < d0 {
+			lo = d0
+		}
+		if hi > d1 {
+			hi = d1
+		}
+		if hi > lo {
+			n += hi - lo
+		}
+	}
+	return n
+}
+
+// Write performs one collective write. Rank contributes the given runs.
+func (tc *Collective) Write(p *sim.Proc, rank int, runs []ooc.Run) {
+	tc.exchangeAndIO(p, rank, runs, true)
+}
+
+// Read performs one collective read. Rank requests the given runs.
+func (tc *Collective) Read(p *sim.Proc, rank int, runs []ooc.Run) {
+	tc.exchangeAndIO(p, rank, runs, false)
+}
+
+func (tc *Collective) exchangeAndIO(p *sim.Proc, rank int, runs []ooc.Run, write bool) {
+	n := tc.comm.Size()
+	tc.runs[rank] = runs
+	tc.comm.Barrier(p, rank)
+
+	// Plan: global extent, my domain, and per-peer exchange volumes. All
+	// shared state is read before the exchange begins; the pairwise
+	// exchange cannot complete against a peer that has not finished
+	// planning, so clearing our own slot afterwards is safe.
+	lo, hi := tc.extent()
+	d0, d1 := tc.domain(rank, lo, hi)
+	sizes := make([]int64, n)
+	if write {
+		// I send peers the parts of my data that land in their domains.
+		for q := 0; q < n; q++ {
+			q0, q1 := tc.domain(q, lo, hi)
+			sizes[q] = overlap(runs, q0, q1)
+		}
+	} else {
+		// I send peers the parts of my domain that they requested.
+		for q := 0; q < n; q++ {
+			sizes[q] = overlap(tc.runs[q], d0, d1)
+		}
+	}
+
+	if write {
+		tc.comm.Alltoallv(p, rank, sizes)
+		if d1 > d0 {
+			tc.handles[rank].WriteAt(p, d0, d1-d0)
+		}
+	} else {
+		if d1 > d0 {
+			tc.handles[rank].ReadAt(p, d0, d1-d0)
+		}
+		tc.comm.Alltoallv(p, rank, sizes)
+	}
+	// The exchange is pairwise-synchronizing: completing it means every
+	// peer has finished planning, so dropping our staged runs is safe.
+	// (With one rank there is no exchange, but there are no peers either.)
+	tc.runs[rank] = nil
+	tc.comm.Barrier(p, rank)
+}

@@ -1,0 +1,248 @@
+package pio
+
+import (
+	"testing"
+
+	"pario/internal/mp"
+	"pario/internal/ooc"
+	"pario/internal/pfs"
+	"pario/internal/sim"
+	"pario/internal/trace"
+)
+
+// collectiveRig builds P ranks with handles on one shared file.
+func collectiveRig(t *testing.T, procs int, fileBytes int64) (*sim.Engine, *mp.Comm, []*Handle, []*trace.Recorder, *Collective) {
+	t.Helper()
+	e, fs := testFS(t, 4)
+	f, err := fs.Create("shared", pfs.Layout{StripeUnit: 65536, StripeFactor: 4, FirstNode: 0}, fileBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm, err := mp.New(e, fs.Network(), procs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	handles := make([]*Handle, procs)
+	recs := make([]*trace.Recorder, procs)
+	for r := 0; r < procs; r++ {
+		recs[r] = trace.NewRecorder()
+		c, err := NewClient(fs, comm.NodeOf(r), sp2UnixLike(), recs[r])
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[r] = &Handle{c: c, f: f}
+	}
+	tc, err := NewCollective(comm, handles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, comm, handles, recs, tc
+}
+
+func sp2UnixLike() ClientParams {
+	return ClientParams{
+		Name: "unix", OpenSec: 0.02, CloseSec: 0.01, FlushSec: 0.002,
+		ReadCallSec: 0.001, WriteCallSec: 0.001, SeekSec: 0.0003,
+	}
+}
+
+// stride1Runs builds the interleaved pattern where rank r owns every P'th
+// block of blockLen bytes.
+func stride1Runs(rank, procs int, blocks int, blockLen int64) []ooc.Run {
+	var runs []ooc.Run
+	for b := rank; b < blocks; b += procs {
+		runs = append(runs, ooc.Run{Off: int64(b) * blockLen, Len: blockLen})
+	}
+	return runs
+}
+
+func TestCollectiveWriteOneRequestPerRank(t *testing.T) {
+	const procs = 4
+	e, _, _, recs, tc := collectiveRig(t, procs, 1<<22)
+	for r := 0; r < procs; r++ {
+		r := r
+		e.Spawn("rank", func(p *sim.Proc) {
+			tc.Write(p, r, stride1Runs(r, procs, 64, 4096))
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var writes, bytes int64
+	for _, rec := range recs {
+		writes += rec.Get(trace.Write).Count
+		bytes += rec.Get(trace.Write).Bytes
+	}
+	if writes != procs {
+		t.Fatalf("writes = %d, want %d (one large request per rank)", writes, procs)
+	}
+	if bytes < 64*4096 {
+		t.Fatalf("written bytes = %d, want >= %d", bytes, 64*4096)
+	}
+}
+
+func TestCollectiveReadCompletes(t *testing.T) {
+	const procs = 4
+	e, _, _, recs, tc := collectiveRig(t, procs, 1<<22)
+	for r := 0; r < procs; r++ {
+		r := r
+		e.Spawn("rank", func(p *sim.Proc) {
+			tc.Read(p, r, stride1Runs(r, procs, 64, 4096))
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var reads int64
+	for _, rec := range recs {
+		reads += rec.Get(trace.Read).Count
+	}
+	if reads != procs {
+		t.Fatalf("reads = %d, want %d", reads, procs)
+	}
+}
+
+func TestCollectiveBeatsIndependentSmallWrites(t *testing.T) {
+	// The paper's §4.5 claim: many small interleaved writes per rank are
+	// slower than two-phase exchange plus one large write per rank.
+	const procs = 4
+	const blocks = 256
+	const blockLen = 2048
+
+	indep := func() float64 {
+		e, _, handles, _, _ := collectiveRig(t, procs, blocks*blockLen)
+		var wall float64
+		for r := 0; r < procs; r++ {
+			r := r
+			e.Spawn("rank", func(p *sim.Proc) {
+				for _, run := range stride1Runs(r, procs, blocks, blockLen) {
+					handles[r].WriteAt(p, run.Off, run.Len)
+				}
+				if p.Now() > wall {
+					wall = p.Now()
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return wall
+	}
+	coll := func() float64 {
+		e, _, _, _, tc := collectiveRig(t, procs, blocks*blockLen)
+		var wall float64
+		for r := 0; r < procs; r++ {
+			r := r
+			e.Spawn("rank", func(p *sim.Proc) {
+				tc.Write(p, r, stride1Runs(r, procs, blocks, blockLen))
+				if p.Now() > wall {
+					wall = p.Now()
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return wall
+	}
+	ti, tc2 := indep(), coll()
+	if tc2 >= ti {
+		t.Fatalf("collective %g not faster than independent %g", tc2, ti)
+	}
+}
+
+func TestCollectiveRepeatedCalls(t *testing.T) {
+	const procs = 2
+	e, _, _, recs, tc := collectiveRig(t, procs, 1<<20)
+	// 64 blocks x 4096 B = 256 KB extent: two stripe-aligned 128 KB
+	// domains, so both ranks write on every call.
+	for r := 0; r < procs; r++ {
+		r := r
+		e.Spawn("rank", func(p *sim.Proc) {
+			for i := 0; i < 3; i++ {
+				tc.Write(p, r, stride1Runs(r, procs, 64, 4096))
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var writes int64
+	for _, rec := range recs {
+		writes += rec.Get(trace.Write).Count
+	}
+	if writes != 3*procs {
+		t.Fatalf("writes = %d, want %d", writes, 3*procs)
+	}
+}
+
+func TestCollectiveSingleRank(t *testing.T) {
+	e, _, _, recs, tc := collectiveRig(t, 1, 1<<20)
+	e.Spawn("rank", func(p *sim.Proc) {
+		tc.Write(p, 0, []ooc.Run{{Off: 0, Len: 65536}})
+		tc.Read(p, 0, []ooc.Run{{Off: 0, Len: 65536}})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Get(trace.Write).Count != 1 || recs[0].Get(trace.Read).Count != 1 {
+		t.Fatal("single-rank collective did not perform I/O")
+	}
+}
+
+func TestCollectiveDomainsCoverExtent(t *testing.T) {
+	_, _, _, _, tc := collectiveRig(t, 3, 1<<20)
+	tc.runs = [][]ooc.Run{
+		{{Off: 1000, Len: 500}},
+		{{Off: 200000, Len: 100}},
+		{{Off: 50000, Len: 50}},
+	}
+	lo, hi := tc.extent()
+	if lo != 1000 || hi != 200100 {
+		t.Fatalf("extent = [%d,%d), want [1000,200100)", lo, hi)
+	}
+	var covered int64
+	for r := 0; r < 3; r++ {
+		d0, d1 := tc.domain(r, lo, hi)
+		if d0 < lo || d1 > hi || d0 > d1 {
+			t.Fatalf("rank %d domain [%d,%d) outside extent", r, d0, d1)
+		}
+		covered += d1 - d0
+	}
+	if covered != hi-lo {
+		t.Fatalf("domains cover %d bytes, want %d", covered, hi-lo)
+	}
+}
+
+func TestCollectiveMismatchedHandles(t *testing.T) {
+	e, fs := testFS(t, 2)
+	f1, _ := fs.Create("a", pfs.Layout{StripeUnit: 65536, StripeFactor: 2, FirstNode: 0}, 0)
+	f2, _ := fs.Create("b", pfs.Layout{StripeUnit: 65536, StripeFactor: 2, FirstNode: 0}, 0)
+	comm, _ := mp.New(e, fs.Network(), 2)
+	c0, _ := NewClient(fs, comm.NodeOf(0), sp2UnixLike(), nil)
+	c1, _ := NewClient(fs, comm.NodeOf(1), sp2UnixLike(), nil)
+	if _, err := NewCollective(comm, []*Handle{{c: c0, f: f1}, {c: c1, f: f2}}); err == nil {
+		t.Fatal("handles on different files accepted")
+	}
+	if _, err := NewCollective(comm, []*Handle{{c: c0, f: f1}}); err == nil {
+		t.Fatal("wrong handle count accepted")
+	}
+}
+
+func TestOverlap(t *testing.T) {
+	runs := []ooc.Run{{Off: 0, Len: 100}, {Off: 200, Len: 100}}
+	cases := []struct {
+		d0, d1, want int64
+	}{
+		{0, 300, 200},
+		{50, 250, 100},
+		{100, 200, 0},
+		{250, 260, 10},
+		{500, 600, 0},
+	}
+	for i, c := range cases {
+		if got := overlap(runs, c.d0, c.d1); got != c.want {
+			t.Errorf("case %d: overlap = %d, want %d", i, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package queueing_test
+
+import (
+	"fmt"
+
+	"pario/internal/queueing"
+)
+
+// Example estimates the queue wait at an I/O node serving 64 KB requests
+// (~13 ms service) under increasing request rates — the back-of-envelope
+// behind the paper's contention results.
+func Example() {
+	const mu = 1 / 0.013 // ~77 requests/s service rate
+	for _, lambda := range []float64{20, 50, 70} {
+		w, _ := queueing.MD1MeanWait(lambda, mu)
+		fmt.Printf("%.0f req/s: rho=%.2f, mean wait %.1f ms\n",
+			lambda, queueing.Utilization(lambda, mu), w*1000)
+	}
+	// Output:
+	// 20 req/s: rho=0.26, mean wait 2.3 ms
+	// 50 req/s: rho=0.65, mean wait 12.1 ms
+	// 70 req/s: rho=0.91, mean wait 65.7 ms
+}

@@ -1,0 +1,119 @@
+// Package queueing provides the closed-form queueing results used to
+// validate the simulation kernel: if a sim.Resource driven by a Poisson
+// arrival process does not reproduce M/M/1 and M/D/1 within statistical
+// tolerance, every contention number in this repository is suspect. The
+// formulas are also useful for back-of-envelope checks of experiment
+// outputs (e.g. expected I/O-node waits at a given request rate).
+package queueing
+
+import (
+	"fmt"
+	"math"
+)
+
+// Utilization returns rho = lambda/mu, the offered load of a single-server
+// queue with arrival rate lambda and service rate mu.
+func Utilization(lambda, mu float64) float64 { return lambda / mu }
+
+// MM1MeanWait returns the mean time in queue (excluding service) of an
+// M/M/1 system: Wq = rho / (mu - lambda).
+func MM1MeanWait(lambda, mu float64) (float64, error) {
+	if err := check(lambda, mu); err != nil {
+		return 0, err
+	}
+	rho := lambda / mu
+	return rho / (mu - lambda), nil
+}
+
+// MD1MeanWait returns the mean time in queue of an M/D/1 system
+// (deterministic service): Wq = rho / (2 mu (1 - rho)) — exactly half the
+// M/M/1 wait.
+func MD1MeanWait(lambda, mu float64) (float64, error) {
+	if err := check(lambda, mu); err != nil {
+		return 0, err
+	}
+	rho := lambda / mu
+	return rho / (2 * mu * (1 - rho)), nil
+}
+
+// MG1MeanWait returns the Pollaczek-Khinchine mean queue wait of an M/G/1
+// system with service mean 1/mu and service-time coefficient of variation
+// cv (cv = 0 gives M/D/1; cv = 1 gives M/M/1):
+//
+//	Wq = (1 + cv^2)/2 * rho / (mu (1 - rho))
+func MG1MeanWait(lambda, mu, cv float64) (float64, error) {
+	if err := check(lambda, mu); err != nil {
+		return 0, err
+	}
+	if cv < 0 {
+		return 0, fmt.Errorf("queueing: negative coefficient of variation")
+	}
+	rho := lambda / mu
+	return (1 + cv*cv) / 2 * rho / (mu * (1 - rho)), nil
+}
+
+// MM1MeanNumber returns the mean number in an M/M/1 system (Little's law
+// applied to the sojourn time): L = rho / (1 - rho).
+func MM1MeanNumber(lambda, mu float64) (float64, error) {
+	if err := check(lambda, mu); err != nil {
+		return 0, err
+	}
+	rho := lambda / mu
+	return rho / (1 - rho), nil
+}
+
+// MMcErlangC returns the Erlang-C probability that an arrival to an M/M/c
+// system must queue.
+func MMcErlangC(lambda, mu float64, c int) (float64, error) {
+	if c < 1 {
+		return 0, fmt.Errorf("queueing: need at least one server")
+	}
+	if lambda <= 0 || mu <= 0 {
+		return 0, fmt.Errorf("queueing: rates must be positive")
+	}
+	a := lambda / mu // offered load in Erlangs
+	rho := a / float64(c)
+	if rho >= 1 {
+		return 0, fmt.Errorf("queueing: unstable system rho=%g", rho)
+	}
+	// Sum a^k/k! for k < c, plus the queued term.
+	term := 1.0 // a^0/0!
+	sum := term
+	for k := 1; k < c; k++ {
+		term *= a / float64(k)
+		sum += term
+	}
+	last := term * a / float64(c) // a^c/c!
+	queued := last / (1 - rho)
+	return queued / (sum + queued), nil
+}
+
+// MMcMeanWait returns the mean queue wait of an M/M/c system:
+// Wq = C(c, a) / (c*mu - lambda).
+func MMcMeanWait(lambda, mu float64, c int) (float64, error) {
+	pc, err := MMcErlangC(lambda, mu, c)
+	if err != nil {
+		return 0, err
+	}
+	return pc / (float64(c)*mu - lambda), nil
+}
+
+func check(lambda, mu float64) error {
+	if lambda <= 0 || mu <= 0 {
+		return fmt.Errorf("queueing: rates must be positive (lambda=%g mu=%g)", lambda, mu)
+	}
+	if lambda >= mu {
+		return fmt.Errorf("queueing: unstable system (lambda=%g >= mu=%g)", lambda, mu)
+	}
+	return nil
+}
+
+// RelErr returns |a-b| / max(|a|,|b|), a symmetric relative error for
+// validation tolerances.
+func RelErr(a, b float64) float64 {
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}

@@ -1,0 +1,53 @@
+package sim
+
+import "testing"
+
+// BenchmarkEventThroughput measures raw event dispatch (no processes).
+func BenchmarkEventThroughput(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(1, func() {})
+		if e.pq.Len() > 1024 {
+			_ = e.Run()
+		}
+	}
+	_ = e.Run()
+}
+
+// BenchmarkProcessHandoff measures the goroutine lockstep cost: one Delay
+// is two channel handoffs plus heap traffic — the kernel's hot path.
+func BenchmarkProcessHandoff(b *testing.B) {
+	e := NewEngine()
+	n := b.N
+	e.Spawn("p", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			p.Delay(1)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkResourceContention measures queued acquire/release under 8
+// contending processes.
+func BenchmarkResourceContention(b *testing.B) {
+	e := NewEngine()
+	r := NewResource(e, "r", 1)
+	per := b.N/8 + 1
+	for i := 0; i < 8; i++ {
+		e.Spawn("u", func(p *Proc) {
+			for j := 0; j < per; j++ {
+				r.Use(p, 1)
+			}
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

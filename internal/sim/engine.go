@@ -1,0 +1,156 @@
+// Package sim provides a deterministic, process-based discrete-event
+// simulation kernel.
+//
+// Model: a simulation is a set of processes (goroutines) advancing a shared
+// virtual clock. Exactly one process (or the engine) runs at any instant;
+// control is handed off explicitly, so runs are fully deterministic for a
+// given program and seed. Events scheduled for the same instant fire in
+// scheduling order.
+//
+// The kernel is intentionally small: an event heap, cooperative processes
+// with Delay/Spawn/Join, FIFO resources with capacity (servers/queues),
+// condition signals, and wait groups. Everything else in this repository —
+// networks, disks, parallel file systems, applications — is built on it.
+package sim
+
+import (
+	"fmt"
+)
+
+// Engine owns the virtual clock and the event queue. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now      float64
+	seq      uint64
+	pq       eventHeap
+	handoff  chan struct{} // a process signals here when it blocks or ends
+	live     map[*Proc]struct{}
+	running  bool
+	stopped  bool
+	executed uint64 // events fired so far
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{
+		handoff: make(chan struct{}),
+		live:    make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Events returns the number of events executed so far — the kernel's work
+// metric for performance reporting.
+func (e *Engine) Events() uint64 { return e.executed }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it would corrupt the clock.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", t, e.now))
+	}
+	e.seq++
+	e.pq.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Spawn creates a process executing body and schedules it to start at the
+// current virtual time. The returned Proc is also passed to body.
+func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+	}
+	e.live[p] = struct{}{}
+	go func() {
+		<-p.resume // wait for activation by the engine
+		defer func() {
+			delete(e.live, p)
+			p.done = true
+			if p.exit != nil {
+				p.exit.Fire()
+			}
+			if r := recover(); r != nil && r != errKilled {
+				// Re-panicking here would crash an engine goroutine handoff;
+				// record and surface from Run instead.
+				p.panicked = r
+			}
+			e.handoff <- struct{}{}
+		}()
+		if !p.killed {
+			body(p)
+		}
+	}()
+	e.After(0, func() { e.wake(p) })
+	return p
+}
+
+// wake transfers control to p and blocks the engine until p blocks again or
+// finishes.
+func (e *Engine) wake(p *Proc) {
+	if p.done {
+		return
+	}
+	p.resume <- struct{}{}
+	<-e.handoff
+	if p.panicked != nil {
+		panic(p.panicked)
+	}
+}
+
+// Run executes events until the queue drains. It returns an error if, at
+// that point, processes remain blocked (a deadlock: they wait on a signal
+// or resource that can no longer be provided). Blocked processes are killed
+// so their goroutines are reclaimed.
+func (e *Engine) Run() error {
+	if e.running {
+		return fmt.Errorf("sim: Run called re-entrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.pq.Len() > 0 {
+		ev := e.pq.pop()
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+	}
+	if n := len(e.live); n > 0 {
+		names := make([]string, 0, n)
+		for p := range e.live {
+			names = append(names, p.name)
+		}
+		e.killAll()
+		return fmt.Errorf("sim: deadlock, %d process(es) still blocked: %v", n, names)
+	}
+	return nil
+}
+
+// killAll terminates every live process by waking it with the killed flag
+// set; the process panics with errKilled, which the spawn wrapper absorbs.
+func (e *Engine) killAll() {
+	for len(e.live) > 0 {
+		for p := range e.live {
+			p.killed = true
+			e.wake(p)
+			break // map mutated by the wake; restart iteration
+		}
+	}
+}
+
+// Stop kills all live processes and drops pending events. After Stop the
+// engine can be inspected but not reused.
+func (e *Engine) Stop() {
+	e.stopped = true
+	e.pq = eventHeap{}
+	e.killAll()
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %g, want 0", e.Now())
+	}
+}
+
+func TestDelayAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var end float64
+	e.Spawn("p", func(p *Proc) {
+		p.Delay(1.5)
+		p.Delay(2.5)
+		end = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 4.0 {
+		t.Fatalf("end = %g, want 4.0", end)
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(3, func() { order = append(order, 3) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(2, func() { order = append(order, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSameTimeEventsFireInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if order[i] != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpawnActivatesAtCurrentTime(t *testing.T) {
+	e := NewEngine()
+	var start float64 = -1
+	e.At(7, func() {
+		e.Spawn("late", func(p *Proc) { start = p.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if start != 7 {
+		t.Fatalf("start = %g, want 7", start)
+	}
+}
+
+func TestJoinWaitsForChild(t *testing.T) {
+	e := NewEngine()
+	var joined float64
+	e.Spawn("parent", func(p *Proc) {
+		child := e.Spawn("child", func(c *Proc) { c.Delay(10) })
+		p.Join(child)
+		joined = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if joined != 10 {
+		t.Fatalf("joined at %g, want 10", joined)
+	}
+}
+
+func TestJoinFinishedProcessReturnsImmediately(t *testing.T) {
+	e := NewEngine()
+	var joined float64
+	e.Spawn("parent", func(p *Proc) {
+		child := e.Spawn("child", func(c *Proc) {})
+		p.Delay(5)
+		p.Join(child)
+		joined = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if joined != 5 {
+		t.Fatalf("joined at %g, want 5", joined)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	e.Spawn("stuck", func(p *Proc) { p.WaitSignal(s) })
+	if err := e.Run(); err == nil {
+		t.Fatal("Run did not report deadlock")
+	}
+}
+
+func TestRunWithNoEvents(t *testing.T) {
+	e := NewEngine()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyProcessesDeterministic(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var log []string
+		for i := 0; i < 20; i++ {
+			name := string(rune('a' + i))
+			e.Spawn(name, func(p *Proc) {
+				p.Delay(float64(20 - len(log))) // data-dependent delays
+				log = append(log, p.Name())
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run not deterministic at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+func TestProcessPanicPropagates(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("boom", func(p *Proc) { panic("boom") })
+	defer func() {
+		if recover() == nil {
+			t.Error("panic in process did not propagate from Run")
+		}
+	}()
+	_ = e.Run()
+}
+
+func TestStopKillsProcesses(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	e.Spawn("stuck", func(p *Proc) { p.WaitSignal(s) })
+	e.At(1, func() { e.Stop() })
+	// Run drains: the stop event fires, killing the process and clearing
+	// the queue, so Run returns with no deadlock.
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run after Stop: %v", err)
+	}
+}
+
+func TestZeroDelayPreservesEventOrder(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		e.After(0, func() { order = append(order, "event") })
+		p.Yield()
+		order = append(order, "proc")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "event" || order[1] != "proc" {
+		t.Fatalf("order = %v, want [event proc]", order)
+	}
+}
+
+func TestEventsCounter(t *testing.T) {
+	e := NewEngine()
+	if e.Events() != 0 {
+		t.Fatal("fresh engine has executed events")
+	}
+	for i := 0; i < 5; i++ {
+		e.At(float64(i), func() {})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Events() != 5 {
+		t.Fatalf("Events = %d, want 5", e.Events())
+	}
+}

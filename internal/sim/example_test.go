@@ -1,0 +1,59 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"pario/internal/sim"
+)
+
+// Example shows the kernel's shape: processes advancing virtual time and
+// contending for a resource.
+func Example() {
+	eng := sim.NewEngine()
+	disk := sim.NewResource(eng, "disk", 1)
+	for i := 0; i < 3; i++ {
+		i := i
+		eng.Spawn(fmt.Sprintf("writer%d", i), func(p *sim.Proc) {
+			disk.Use(p, 2.0) // each request holds the disk for 2 s
+			fmt.Printf("writer%d finished at t=%g\n", i, p.Now())
+		})
+	}
+	if err := eng.Run(); err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// writer0 finished at t=2
+	// writer1 finished at t=4
+	// writer2 finished at t=6
+}
+
+// ExampleWaitGroup shows fork/join of child processes.
+func ExampleWaitGroup() {
+	eng := sim.NewEngine()
+	eng.Spawn("parent", func(p *sim.Proc) {
+		wg := sim.NewWaitGroup(eng)
+		for i := 1; i <= 3; i++ {
+			d := float64(i)
+			wg.Go("child", func(c *sim.Proc) { c.Delay(d) })
+		}
+		wg.Wait(p)
+		fmt.Printf("all children done at t=%g\n", p.Now())
+	})
+	_ = eng.Run()
+	// Output:
+	// all children done at t=3
+}
+
+// ExampleSignal shows one-shot condition synchronization.
+func ExampleSignal() {
+	eng := sim.NewEngine()
+	ready := sim.NewSignal(eng)
+	eng.Spawn("waiter", func(p *sim.Proc) {
+		p.WaitSignal(ready)
+		fmt.Printf("released at t=%g\n", p.Now())
+	})
+	eng.At(5, func() { ready.Fire() })
+	_ = eng.Run()
+	// Output:
+	// released at t=5
+}

@@ -1,0 +1,85 @@
+package sim
+
+import "errors"
+
+// errKilled is the panic value used to unwind a killed process. It never
+// escapes the kernel.
+var errKilled = errors.New("sim: process killed")
+
+// Proc is a simulation process: a goroutine that runs in lockstep with the
+// engine. All methods must be called from the process's own goroutine,
+// except Name and Done.
+type Proc struct {
+	eng      *Engine
+	name     string
+	resume   chan struct{}
+	done     bool
+	killed   bool
+	panicked any
+	exit     *Signal // fired when the process finishes; lazily created
+}
+
+// Name returns the name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Done reports whether the process has finished.
+func (p *Proc) Done() bool { return p.done }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.eng.now }
+
+// block yields control to the engine until another event wakes this
+// process. If the process was killed while blocked it unwinds.
+func (p *Proc) block() {
+	p.eng.handoff <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(errKilled)
+	}
+}
+
+// Delay advances this process d seconds of virtual time. Other processes
+// and events run in the meantime. A zero delay still round-trips through
+// the event queue, so same-instant events scheduled earlier run first.
+func (p *Proc) Delay(d float64) {
+	if d < 0 {
+		panic("sim: negative Delay")
+	}
+	p.eng.After(d, func() { p.eng.wake(p) })
+	p.block()
+}
+
+// Yield lets all other events scheduled for the current instant run before
+// this process continues.
+func (p *Proc) Yield() { p.Delay(0) }
+
+// ExitSignal returns a signal that fires when the process finishes. It may
+// be requested before or after the process ends.
+func (p *Proc) ExitSignal() *Signal {
+	if p.exit == nil {
+		p.exit = NewSignal(p.eng)
+		if p.done {
+			p.exit.fired = true
+		}
+	}
+	return p.exit
+}
+
+// Join blocks until q has finished. Joining a finished process returns
+// immediately.
+func (p *Proc) Join(q *Proc) {
+	p.WaitSignal(q.ExitSignal())
+}
+
+// WaitSignal blocks until s fires. If s has already fired it returns
+// immediately.
+func (p *Proc) WaitSignal(s *Signal) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.block()
+}

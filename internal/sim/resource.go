@@ -1,0 +1,113 @@
+package sim
+
+// Resource is a server with fixed capacity and a FIFO queue, the standard
+// discrete-event building block for anything that saturates: a disk, an
+// I/O-node request queue, a network interface. Acquire blocks the calling
+// process while all capacity units are held; Release hands a unit to the
+// longest-waiting process.
+//
+// Resource also accumulates utilization statistics (busy unit-seconds and
+// total wait time), which the experiment harness uses to report contention.
+type Resource struct {
+	eng   *Engine
+	name  string
+	cap   int
+	inUse int
+	queue []*Proc
+
+	// statistics
+	busyUnitSec float64 // integral of inUse over time
+	lastChange  float64 // time of the last inUse change
+	waitSec     float64 // total time processes spent queued
+	acquires    int64
+	maxQueue    int
+}
+
+// NewResource returns a resource with the given capacity (>= 1).
+func NewResource(e *Engine, name string, capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{eng: e, name: name, cap: capacity}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Cap returns the capacity.
+func (r *Resource) Cap() int { return r.cap }
+
+// InUse returns the number of capacity units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of processes waiting.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+func (r *Resource) account() {
+	now := r.eng.now
+	r.busyUnitSec += float64(r.inUse) * (now - r.lastChange)
+	r.lastChange = now
+}
+
+// Acquire takes one capacity unit, blocking p in FIFO order while none is
+// free.
+func (r *Resource) Acquire(p *Proc) {
+	r.acquires++
+	if r.inUse < r.cap {
+		r.account()
+		r.inUse++
+		return
+	}
+	start := p.Now()
+	r.queue = append(r.queue, p)
+	if len(r.queue) > r.maxQueue {
+		r.maxQueue = len(r.queue)
+	}
+	p.block()
+	r.waitSec += p.Now() - start
+}
+
+// Release returns one capacity unit. If processes are queued, ownership
+// transfers directly to the head of the queue, which is woken at the
+// current time.
+func (r *Resource) Release() {
+	if len(r.queue) > 0 {
+		head := r.queue[0]
+		copy(r.queue, r.queue[1:])
+		r.queue = r.queue[:len(r.queue)-1]
+		// Ownership transfers: inUse is unchanged.
+		r.eng.After(0, func() { r.eng.wake(head) })
+		return
+	}
+	if r.inUse == 0 {
+		panic("sim: Release of idle resource " + r.name)
+	}
+	r.account()
+	r.inUse--
+}
+
+// Use acquires the resource, holds it for d seconds, and releases it: the
+// common "serve one request" pattern.
+func (r *Resource) Use(p *Proc, d float64) {
+	r.Acquire(p)
+	p.Delay(d)
+	r.Release()
+}
+
+// Utilization returns average busy units in [0, cap] up to time now.
+func (r *Resource) Utilization() float64 {
+	r.account()
+	if r.eng.now == 0 {
+		return 0
+	}
+	return r.busyUnitSec / r.eng.now
+}
+
+// TotalWait returns the cumulative time processes spent queued.
+func (r *Resource) TotalWait() float64 { return r.waitSec }
+
+// Acquires returns the number of Acquire calls so far.
+func (r *Resource) Acquires() int64 { return r.acquires }
+
+// MaxQueue returns the maximum observed queue length.
+func (r *Resource) MaxQueue() int { return r.maxQueue }

@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceSerializesAtCapacityOne(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "disk", 1)
+	var finish []float64
+	for i := 0; i < 3; i++ {
+		e.Spawn("user", func(p *Proc) {
+			r.Use(p, 2)
+			finish = append(finish, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 4, 6}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestResourceParallelismAtCapacityN(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "disks", 3)
+	var finish []float64
+	for i := 0; i < 3; i++ {
+		e.Spawn("user", func(p *Proc) {
+			r.Use(p, 2)
+			finish = append(finish, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range finish {
+		if f != 2 {
+			t.Fatalf("finish = %v, want all 2", finish)
+		}
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "q", 1)
+	var order []string
+	names := []string{"first", "second", "third", "fourth"}
+	for i, n := range names {
+		n := n
+		i := i
+		e.Spawn(n, func(p *Proc) {
+			p.Delay(float64(i) * 0.001) // arrive in name order
+			r.Acquire(p)
+			order = append(order, n)
+			p.Delay(1)
+			r.Release()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range names {
+		if order[i] != names[i] {
+			t.Fatalf("order = %v, want %v", order, names)
+		}
+	}
+}
+
+func TestReleaseIdlePanics(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "r", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Release on idle resource did not panic")
+		}
+	}()
+	r.Release()
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "r", 1)
+	e.Spawn("u", func(p *Proc) {
+		r.Use(p, 5)
+		p.Delay(5) // idle second half
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if u := r.Utilization(); u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %g, want ~0.5", u)
+	}
+}
+
+func TestResourceWaitAccounting(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "r", 1)
+	for i := 0; i < 2; i++ {
+		e.Spawn("u", func(p *Proc) { r.Use(p, 3) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w := r.TotalWait(); w != 3 {
+		t.Fatalf("TotalWait = %g, want 3 (second user queued 3s)", w)
+	}
+	if r.Acquires() != 2 {
+		t.Fatalf("Acquires = %d, want 2", r.Acquires())
+	}
+	if r.MaxQueue() != 1 {
+		t.Fatalf("MaxQueue = %d, want 1", r.MaxQueue())
+	}
+}
+
+// Property: for any number of jobs with unit service on a capacity-1
+// resource, total makespan equals the number of jobs (work conservation).
+func TestResourceWorkConservationProperty(t *testing.T) {
+	f := func(njobs uint8) bool {
+		n := int(njobs%32) + 1
+		e := NewEngine()
+		r := NewResource(e, "r", 1)
+		var last float64
+		for i := 0; i < n; i++ {
+			e.Spawn("j", func(p *Proc) {
+				r.Use(p, 1)
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		return last == float64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: makespan with capacity c and n unit jobs is ceil(n/c).
+func TestResourceCapacityMakespanProperty(t *testing.T) {
+	f := func(njobs, caps uint8) bool {
+		n := int(njobs%40) + 1
+		c := int(caps%8) + 1
+		e := NewEngine()
+		r := NewResource(e, "r", c)
+		var last float64
+		for i := 0; i < n; i++ {
+			e.Spawn("j", func(p *Proc) {
+				r.Use(p, 1)
+				if p.Now() > last {
+					last = p.Now()
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		want := float64((n + c - 1) / c)
+		return last == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitGroupBasic(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e)
+	var done float64
+	e.Spawn("parent", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			d := float64(i)
+			wg.Go("child", func(c *Proc) { c.Delay(d) })
+		}
+		wg.Wait(p)
+		done = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 3 {
+		t.Fatalf("done = %g, want 3", done)
+	}
+}
+
+func TestWaitGroupZeroCountReturnsImmediately(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e)
+	ran := false
+	e.Spawn("p", func(p *Proc) {
+		wg.Wait(p)
+		ran = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("Wait on zero count blocked")
+	}
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	e := NewEngine()
+	wg := NewWaitGroup(e)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative count did not panic")
+		}
+	}()
+	wg.Done()
+}
+
+func TestSignalReleasesAllWaiters(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	released := 0
+	for i := 0; i < 5; i++ {
+		e.Spawn("w", func(p *Proc) {
+			p.WaitSignal(s)
+			released++
+		})
+	}
+	e.At(2, func() { s.Fire() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if released != 5 {
+		t.Fatalf("released = %d, want 5", released)
+	}
+	if !s.Fired() {
+		t.Fatal("signal not marked fired")
+	}
+}
+
+func TestSignalWaitAfterFireReturnsImmediately(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	s.Fire()
+	var at float64 = -1
+	e.Spawn("w", func(p *Proc) {
+		p.WaitSignal(s)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 0 {
+		t.Fatalf("waited until %g, want 0", at)
+	}
+}
+
+func TestSignalDoubleFireIsNoop(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	s.Fire()
+	s.Fire() // must not panic or re-release
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverge at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 identical draws across seeds", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %g out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %g, want ~0.5", mean)
+	}
+}
+
+func TestIntnRangeProperty(t *testing.T) {
+	r := NewRNG(13)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnNonPositivePanics(t *testing.T) {
+	r := NewRNG(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(17)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Exp(3.0)
+		if v < 0 {
+			t.Fatalf("Exp draw negative: %g", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-3.0) > 0.1 {
+		t.Fatalf("Exp mean = %g, want ~3", mean)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := NewRNG(19)
+	for i := 0; i < 1000; i++ {
+		v := r.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform = %g out of [2,5)", v)
+		}
+	}
+}
+
+func TestPermIsPermutationProperty(t *testing.T) {
+	r := NewRNG(23)
+	f := func(n uint8) bool {
+		m := int(n % 64)
+		p := r.Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitIndependent(t *testing.T) {
+	r := NewRNG(29)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d/100 identical draws in split streams", same)
+	}
+}

@@ -1,0 +1,30 @@
+package sim
+
+// Signal is a one-shot condition: processes wait on it, and a single Fire
+// releases all current and future waiters. Firing twice is a no-op.
+type Signal struct {
+	eng     *Engine
+	fired   bool
+	waiters []*Proc
+}
+
+// NewSignal returns an unfired signal bound to e.
+func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire releases all waiters at the current virtual time. Waiters resume in
+// the order they began waiting.
+func (s *Signal) Fire() {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	waiters := s.waiters
+	s.waiters = nil
+	for _, p := range waiters {
+		p := p
+		s.eng.After(0, func() { s.eng.wake(p) })
+	}
+}

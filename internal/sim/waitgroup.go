@@ -1,0 +1,56 @@
+package sim
+
+// WaitGroup counts outstanding work items; Wait blocks until the count
+// reaches zero. Unlike sync.WaitGroup it is single-threaded by construction
+// (only one process runs at a time) and may be reused after the count
+// returns to zero only if no process is currently waiting.
+type WaitGroup struct {
+	eng     *Engine
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns a wait group with a zero count.
+func NewWaitGroup(e *Engine) *WaitGroup { return &WaitGroup{eng: e} }
+
+// Add increments the count by n (n may be negative; Done is Add(-1)).
+// The count must never go below zero.
+func (w *WaitGroup) Add(n int) {
+	w.count += n
+	if w.count < 0 {
+		panic("sim: negative WaitGroup count")
+	}
+	if w.count == 0 {
+		waiters := w.waiters
+		w.waiters = nil
+		for _, p := range waiters {
+			p := p
+			w.eng.After(0, func() { w.eng.wake(p) })
+		}
+	}
+}
+
+// Done decrements the count by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Count returns the current count.
+func (w *WaitGroup) Count() int { return w.count }
+
+// Wait blocks p until the count is zero. A zero count returns immediately.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.count == 0 {
+		return
+	}
+	w.waiters = append(w.waiters, p)
+	p.block()
+}
+
+// Go spawns body as a child process tracked by the wait group: Add(1) now,
+// Done when the child finishes. It returns the child process.
+func (w *WaitGroup) Go(name string, body func(*Proc)) *Proc {
+	w.Add(1)
+	return w.eng.Spawn(name, func(p *Proc) {
+		defer w.Done()
+		body(p)
+	})
+}

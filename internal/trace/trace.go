@@ -1,0 +1,226 @@
+// Package trace is a Pablo-style I/O instrumentation layer: it accumulates,
+// per operation type, the call count, cumulative time and data volume, and
+// renders the per-application summary tables the paper reports (Tables 2
+// and 3).
+package trace
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Op is an I/O operation class.
+type Op int
+
+const (
+	Open Op = iota
+	Read
+	Seek
+	Write
+	Flush
+	Close
+	numOps
+)
+
+// Ops lists all operation classes in table order.
+var Ops = []Op{Open, Read, Seek, Write, Flush, Close}
+
+func (o Op) String() string {
+	switch o {
+	case Open:
+		return "Open"
+	case Read:
+		return "Read"
+	case Seek:
+		return "Seek"
+	case Write:
+		return "Write"
+	case Flush:
+		return "Flush"
+	case Close:
+		return "Close"
+	}
+	return "?"
+}
+
+// OpStats aggregates one operation class.
+type OpStats struct {
+	Count int64
+	Sec   float64
+	Bytes int64
+	// MinSec and MaxSec are the fastest and slowest single operation
+	// observed (zero when Count is zero).
+	MinSec float64
+	MaxSec float64
+}
+
+// MeanSec returns the mean per-operation time.
+func (s OpStats) MeanSec() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sec / float64(s.Count)
+}
+
+// histBuckets is the number of log2 latency buckets: bucket i holds
+// operations with latency in [2^(i-1), 2^i) microseconds (bucket 0 holds
+// sub-microsecond operations).
+const histBuckets = 32
+
+// Recorder accumulates operation statistics, typically one per rank.
+type Recorder struct {
+	ops  [numOps]OpStats
+	hist [numOps][histBuckets]int64
+}
+
+// bucketOf maps a latency to its log2-microsecond bucket.
+func bucketOf(sec float64) int {
+	us := uint64(sec * 1e6)
+	b := bits.Len64(us)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Record adds one operation.
+func (r *Recorder) Record(op Op, sec float64, bytes int64) {
+	s := &r.ops[op]
+	if s.Count == 0 || sec < s.MinSec {
+		s.MinSec = sec
+	}
+	if sec > s.MaxSec {
+		s.MaxSec = sec
+	}
+	s.Count++
+	s.Sec += sec
+	s.Bytes += bytes
+	r.hist[op][bucketOf(sec)]++
+}
+
+// Get returns the statistics for one operation class.
+func (r *Recorder) Get(op Op) OpStats { return r.ops[op] }
+
+// Merge adds other's counts into r.
+func (r *Recorder) Merge(other *Recorder) {
+	for i := range r.ops {
+		o := other.ops[i]
+		if o.Count == 0 {
+			continue
+		}
+		s := &r.ops[i]
+		if s.Count == 0 || o.MinSec < s.MinSec {
+			s.MinSec = o.MinSec
+		}
+		if o.MaxSec > s.MaxSec {
+			s.MaxSec = o.MaxSec
+		}
+		s.Count += o.Count
+		s.Sec += o.Sec
+		s.Bytes += o.Bytes
+		for b := range r.hist[i] {
+			r.hist[i][b] += other.hist[i][b]
+		}
+	}
+}
+
+// Histogram returns the log2-microsecond latency bucket counts of one
+// operation class: index i counts operations in [2^(i-1), 2^i) us.
+func (r *Recorder) Histogram(op Op) []int64 {
+	out := make([]int64, histBuckets)
+	copy(out, r.hist[op][:])
+	return out
+}
+
+// HistogramString renders the non-empty buckets of one operation class as
+// an ASCII bar chart.
+func (r *Recorder) HistogramString(op Op) string {
+	h := r.hist[op]
+	var max int64
+	lo, hi := -1, -1
+	for i, c := range h {
+		if c > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+			if c > max {
+				max = c
+			}
+		}
+	}
+	if lo < 0 {
+		return fmt.Sprintf("%s: no operations\n", op)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s latency distribution (log2 us buckets):\n", op)
+	for i := lo; i <= hi; i++ {
+		barLen := 0
+		if max > 0 {
+			barLen = int(h[i] * 40 / max)
+		}
+		low := int64(0)
+		if i > 0 {
+			low = int64(1) << (i - 1)
+		}
+		fmt.Fprintf(&b, "  %8d-%-8d us %10d %s\n", low, int64(1)<<i, h[i], strings.Repeat("#", barLen))
+	}
+	return b.String()
+}
+
+// Total sums all operation classes.
+func (r *Recorder) Total() OpStats {
+	var t OpStats
+	for _, s := range r.ops {
+		t.Count += s.Count
+		t.Sec += s.Sec
+		t.Bytes += s.Bytes
+	}
+	return t
+}
+
+// IOSec returns the cumulative time of all operations.
+func (r *Recorder) IOSec() float64 { return r.Total().Sec }
+
+// fmtGB renders a byte count in GB with the paper's loose precision, or
+// blank for metadata ops.
+func fmtGB(b int64) string {
+	if b == 0 {
+		return ""
+	}
+	gb := float64(b) / 1e9
+	if gb >= 10 {
+		return fmt.Sprintf("%.0f", gb)
+	}
+	return fmt.Sprintf("%.1f", gb)
+}
+
+// Table renders the recorder in the layout of the paper's Tables 2 and 3.
+// execSec is the total execution time the percentages are taken against
+// (aggregated across processors, as in the paper).
+func (r *Recorder) Table(execSec float64) string {
+	var b strings.Builder
+	total := r.Total()
+	fmt.Fprintf(&b, "%-8s %12s %14s %8s %10s %11s\n",
+		"Oper", "Oper Count", "I/O Time (Sec)", "Vol (GB)", "% of I/O", "% of exec")
+	row := func(name string, s OpStats) {
+		ioPct, exPct := 0.0, 0.0
+		if total.Sec > 0 {
+			ioPct = 100 * s.Sec / total.Sec
+		}
+		if execSec > 0 {
+			exPct = 100 * s.Sec / execSec
+		}
+		fmt.Fprintf(&b, "%-8s %12d %14.2f %8s %10.2f %11.2f\n",
+			name, s.Count, s.Sec, fmtGB(s.Bytes), ioPct, exPct)
+	}
+	for _, op := range Ops {
+		row(op.String(), r.ops[op])
+	}
+	row("All I/O", total)
+	return b.String()
+}

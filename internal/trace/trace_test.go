@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecordAccumulates(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Read, 1.5, 1000)
+	r.Record(Read, 0.5, 2000)
+	r.Record(Write, 1.0, 500)
+	rd := r.Get(Read)
+	if rd.Count != 2 || rd.Sec != 2.0 || rd.Bytes != 3000 {
+		t.Fatalf("Read stats = %+v", rd)
+	}
+	total := r.Total()
+	if total.Count != 3 || total.Sec != 3.0 || total.Bytes != 3500 {
+		t.Fatalf("Total = %+v", total)
+	}
+	if r.IOSec() != 3.0 {
+		t.Fatalf("IOSec = %g", r.IOSec())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewRecorder(), NewRecorder()
+	a.Record(Open, 0.1, 0)
+	b.Record(Open, 0.2, 0)
+	b.Record(Seek, 0.05, 0)
+	a.Merge(b)
+	if got := a.Get(Open); got.Count != 2 || got.Sec != 0.30000000000000004 && got.Sec != 0.3 {
+		t.Fatalf("merged Open = %+v", got)
+	}
+	if a.Get(Seek).Count != 1 {
+		t.Fatal("merged Seek missing")
+	}
+}
+
+func TestTableLayout(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Open, 1.97, 0)
+	for i := 0; i < 10; i++ {
+		r.Record(Read, 6, 3.7e9)
+	}
+	r.Record(Write, 2.79, 2.5e9)
+	out := r.Table(120.0)
+	for _, want := range []string{"Open", "Read", "Seek", "Write", "Flush", "Close", "All I/O"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing row %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "37") { // 37 GB read volume
+		t.Fatalf("table missing read volume:\n%s", out)
+	}
+	if !strings.Contains(out, "2.5") { // 2.5 GB write volume
+		t.Fatalf("table missing write volume:\n%s", out)
+	}
+}
+
+func TestTablePercentages(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Read, 50, 1e9)
+	r.Record(Write, 50, 1e9)
+	out := r.Table(200)
+	// Each op is 50% of I/O and 25% of exec.
+	if !strings.Contains(out, "50.00") || !strings.Contains(out, "25.00") {
+		t.Fatalf("percentages wrong:\n%s", out)
+	}
+}
+
+func TestTableZeroExecNoNaN(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Read, 1, 10)
+	out := r.Table(0)
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Fatalf("NaN/Inf in table:\n%s", out)
+	}
+}
+
+func TestEmptyRecorderTable(t *testing.T) {
+	r := NewRecorder()
+	out := r.Table(10)
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("NaN in empty table:\n%s", out)
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	want := []string{"Open", "Read", "Seek", "Write", "Flush", "Close"}
+	for i, op := range Ops {
+		if op.String() != want[i] {
+			t.Fatalf("Ops[%d] = %q, want %q", i, op.String(), want[i])
+		}
+	}
+}
+
+func TestMinMaxMean(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Read, 2.0, 10)
+	r.Record(Read, 0.5, 10)
+	r.Record(Read, 1.0, 10)
+	rd := r.Get(Read)
+	if rd.MinSec != 0.5 || rd.MaxSec != 2.0 {
+		t.Fatalf("min/max = %g/%g", rd.MinSec, rd.MaxSec)
+	}
+	if m := rd.MeanSec(); m < 1.16 || m > 1.17 {
+		t.Fatalf("mean = %g", m)
+	}
+	var zero OpStats
+	if zero.MeanSec() != 0 {
+		t.Fatal("zero-count mean != 0")
+	}
+}
+
+func TestMergePreservesExtremes(t *testing.T) {
+	a, b := NewRecorder(), NewRecorder()
+	a.Record(Write, 1.0, 0)
+	b.Record(Write, 0.2, 0)
+	b.Record(Write, 3.0, 0)
+	a.Merge(b)
+	w := a.Get(Write)
+	if w.MinSec != 0.2 || w.MaxSec != 3.0 {
+		t.Fatalf("merged min/max = %g/%g", w.MinSec, w.MaxSec)
+	}
+	// Merging an empty recorder must not zero the minimum.
+	a.Merge(NewRecorder())
+	if a.Get(Write).MinSec != 0.2 {
+		t.Fatal("merge with empty recorder corrupted MinSec")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRecorder()
+	r.Record(Read, 0.5e-6, 0) // bucket 0 (sub-us)
+	r.Record(Read, 3e-6, 0)   // 3 us -> bucket 2 ([2,4))
+	r.Record(Read, 100e-6, 0) // 100 us -> bucket 7 ([64,128))
+	h := r.Histogram(Read)
+	if h[0] != 1 || h[2] != 1 || h[7] != 1 {
+		t.Fatalf("histogram = %v", h[:10])
+	}
+	var total int64
+	for _, c := range h {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("histogram total = %d", total)
+	}
+}
+
+func TestHistogramMergesAndRenders(t *testing.T) {
+	a, b := NewRecorder(), NewRecorder()
+	a.Record(Write, 10e-6, 0)
+	b.Record(Write, 10e-6, 0)
+	a.Merge(b)
+	if h := a.Histogram(Write); h[4] != 2 { // 10 us -> [8,16)
+		t.Fatalf("merged histogram = %v", h[:8])
+	}
+	out := a.HistogramString(Write)
+	if !strings.Contains(out, "#") || !strings.Contains(out, "Write") {
+		t.Fatalf("histogram render:\n%s", out)
+	}
+	if empty := a.HistogramString(Open); !strings.Contains(empty, "no operations") {
+		t.Fatalf("empty histogram render: %q", empty)
+	}
+}

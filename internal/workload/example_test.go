@@ -1,0 +1,27 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"pario/internal/workload"
+)
+
+// Example generates a strided request stream — the canonical out-of-core
+// column access pattern.
+func Example() {
+	spec := workload.Spec{
+		Pattern:      workload.Strided,
+		TotalBytes:   16 << 10,
+		RequestBytes: 4 << 10,
+		Stride:       60 << 10,
+	}
+	reqs, _ := spec.Requests()
+	for _, r := range reqs {
+		fmt.Printf("off=%-6d len=%d\n", r.Off, r.Len)
+	}
+	// Output:
+	// off=0      len=4096
+	// off=65536  len=4096
+	// off=131072 len=4096
+	// off=196608 len=4096
+}

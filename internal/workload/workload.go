@@ -1,0 +1,190 @@
+// Package workload generates synthetic I/O request streams — the workload
+// generator behind the benchmark harness and a tool for exploring the
+// machine models outside the five applications. A Spec describes a pattern
+// (sequential, strided, random, hotspot) and a volume; Requests expands it
+// deterministically into a request list; Replay drives the list through
+// any pio interface, interleaving per-request compute.
+package workload
+
+import (
+	"fmt"
+
+	"pario/internal/pio"
+	"pario/internal/sim"
+)
+
+// Pattern is the spatial shape of a request stream.
+type Pattern int
+
+const (
+	// Sequential issues back-to-back requests from offset zero.
+	Sequential Pattern = iota
+	// Strided issues fixed-size requests separated by a constant gap —
+	// the canonical out-of-core column access.
+	Strided
+	// Random issues requests at uniformly random aligned offsets within
+	// the file extent.
+	Random
+	// Hotspot issues most requests inside a small hot region and the
+	// rest uniformly — metadata-and-log-like behaviour.
+	Hotspot
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Sequential:
+		return "sequential"
+	case Strided:
+		return "strided"
+	case Random:
+		return "random"
+	case Hotspot:
+		return "hotspot"
+	}
+	return "?"
+}
+
+// Request is one generated operation.
+type Request struct {
+	Off   int64
+	Len   int64
+	Write bool
+}
+
+// Spec describes a stream.
+type Spec struct {
+	Pattern Pattern
+	// TotalBytes is the volume to move.
+	TotalBytes int64
+	// RequestBytes is the size of each request.
+	RequestBytes int64
+	// Stride is the gap between consecutive requests (Strided only).
+	Stride int64
+	// Extent bounds random offsets (Random/Hotspot); defaults to
+	// 4x TotalBytes.
+	Extent int64
+	// WriteFrac is the fraction of requests that are writes, chosen
+	// deterministically from Seed.
+	WriteFrac float64
+	// HotFrac is the fraction of requests aimed at the hot region
+	// (Hotspot only; default 0.9). The hot region is Extent/64 long.
+	HotFrac float64
+	// Seed drives all pseudo-random choices.
+	Seed uint64
+}
+
+// Validate reports an unusable spec.
+func (s Spec) Validate() error {
+	if s.TotalBytes <= 0 || s.RequestBytes <= 0 {
+		return fmt.Errorf("workload: need positive volume and request size, got %+v", s)
+	}
+	if s.WriteFrac < 0 || s.WriteFrac > 1 {
+		return fmt.Errorf("workload: write fraction %g out of [0,1]", s.WriteFrac)
+	}
+	if s.Pattern == Strided && s.Stride < 0 {
+		return fmt.Errorf("workload: negative stride")
+	}
+	if s.Pattern < Sequential || s.Pattern > Hotspot {
+		return fmt.Errorf("workload: unknown pattern %d", s.Pattern)
+	}
+	return nil
+}
+
+// Count returns the number of requests the spec expands to.
+func (s Spec) Count() int {
+	return int((s.TotalBytes + s.RequestBytes - 1) / s.RequestBytes)
+}
+
+// Requests expands the spec into its deterministic request list.
+func (s Spec) Requests() ([]Request, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	n := s.Count()
+	extent := s.Extent
+	if extent == 0 {
+		extent = 4 * s.TotalBytes
+	}
+	hotFrac := s.HotFrac
+	if hotFrac == 0 {
+		hotFrac = 0.9
+	}
+	hotLen := extent / 64
+	if hotLen < s.RequestBytes {
+		hotLen = s.RequestBytes
+	}
+	rng := sim.NewRNG(s.Seed)
+	align := func(v int64) int64 { return v - v%s.RequestBytes }
+	maxOff := extent - s.RequestBytes
+	if maxOff < 0 {
+		maxOff = 0
+	}
+
+	reqs := make([]Request, 0, n)
+	remaining := s.TotalBytes
+	var pos int64
+	for i := 0; i < n; i++ {
+		size := s.RequestBytes
+		if size > remaining {
+			size = remaining
+		}
+		var off int64
+		switch s.Pattern {
+		case Sequential:
+			off = pos
+			pos += size
+		case Strided:
+			off = pos
+			pos += size + s.Stride
+		case Random:
+			if maxOff > 0 {
+				off = align(int64(rng.Uint64() % uint64(maxOff+1)))
+			}
+		case Hotspot:
+			if rng.Float64() < hotFrac {
+				hotMax := hotLen - size
+				if hotMax < 0 {
+					hotMax = 0
+				}
+				if hotMax > 0 {
+					off = align(int64(rng.Uint64() % uint64(hotMax+1)))
+				}
+			} else if maxOff > 0 {
+				off = align(int64(rng.Uint64() % uint64(maxOff+1)))
+			}
+		}
+		reqs = append(reqs, Request{
+			Off:   off,
+			Len:   size,
+			Write: rng.Float64() < s.WriteFrac,
+		})
+		remaining -= size
+	}
+	return reqs, nil
+}
+
+// MaxExtent returns the highest byte any request touches.
+func MaxExtent(reqs []Request) int64 {
+	var hi int64
+	for _, r := range reqs {
+		if e := r.Off + r.Len; e > hi {
+			hi = e
+		}
+	}
+	return hi
+}
+
+// Replay drives the request list through a handle, spending
+// computePerReqFlops of CPU (at cpuFlops per second) before each request.
+func Replay(p *sim.Proc, h *pio.Handle, reqs []Request, computePerReqFlops, cpuFlops float64) {
+	for _, r := range reqs {
+		if computePerReqFlops > 0 && cpuFlops > 0 {
+			p.Delay(computePerReqFlops / cpuFlops)
+		}
+		if r.Write {
+			h.WriteAt(p, r.Off, r.Len)
+		} else {
+			h.ReadAt(p, r.Off, r.Len)
+		}
+	}
+}
