@@ -12,6 +12,7 @@ package pario_test
 
 import (
 	"io"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -30,18 +31,44 @@ func benchScale() exp.Scale {
 	return exp.Full
 }
 
-// benchExperiment runs one registered experiment per iteration.
+// benchExperiment runs one registered experiment per iteration. Sweep
+// points run through the parallel runner on all CPUs, so these benches
+// measure the path cmd/ioexp takes by default.
 func benchExperiment(b *testing.B, id string) {
 	e := exp.ByID(id)
 	if e == nil {
 		b.Fatalf("unknown experiment %q", id)
 	}
+	prev := exp.SetWorkers(runtime.NumCPU())
+	defer exp.SetWorkers(prev)
 	s := benchScale()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if err := e.Run(io.Discard, s); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSweepWorkers pits the sequential sweep against the parallel one
+// on a many-point artifact, so the runner's scaling shows up directly in
+// the bench output (compare j=1 with j=NumCPU).
+func BenchmarkSweepWorkers(b *testing.B) {
+	counts := []int{1, runtime.NumCPU()}
+	if runtime.NumCPU() == 1 {
+		counts = counts[:1]
+	}
+	for _, j := range counts {
+		b.Run("j="+strconv.Itoa(j), func(b *testing.B) {
+			prev := exp.SetWorkers(j)
+			defer exp.SetWorkers(prev)
+			e := exp.ByID("fig1")
+			for i := 0; i < b.N; i++ {
+				if err := e.Run(io.Discard, benchScale()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

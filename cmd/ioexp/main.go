@@ -5,15 +5,22 @@
 //
 //	ioexp -exp table2            # one artifact, full scale
 //	ioexp -exp all -scale quick  # everything, smoke-test sizes
+//	ioexp -exp all -j 8          # sweep points on 8 workers
 //
 // Artifact ids: table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 table4
 // table5 (plus any registered ablations; -list shows all).
+//
+// Each artifact is a sweep over independent simulated runs; -j sets how
+// many run concurrently (default: all CPUs). Artifact output goes to
+// stdout and is byte-identical at any worker count; timing summaries go
+// to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"pario/internal/exp"
@@ -24,6 +31,7 @@ func main() {
 		id    = flag.String("exp", "all", "experiment id, or 'all'")
 		scale = flag.String("scale", "full", "'full' (paper sizes) or 'quick' (smoke test)")
 		list  = flag.Bool("list", false, "list experiment ids and exit")
+		jobs  = flag.Int("j", runtime.NumCPU(), "concurrent sweep points per experiment")
 	)
 	flag.Parse()
 
@@ -44,7 +52,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ioexp: unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
+	exp.SetWorkers(*jobs)
 
+	var totalStats exp.Stats
+	var totalElapsed time.Duration
 	run := func(e *exp.Experiment) {
 		start := time.Now()
 		fmt.Printf("== %s: %s [%s scale] ==\n", e.ID, e.Title, s)
@@ -53,13 +64,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ioexp: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		st := exp.TakeStats()
+		fmt.Fprintf(os.Stderr, "[%s completed in %v — %s, j=%d]\n",
+			e.ID, elapsed.Round(time.Millisecond), st, exp.Workers())
+		totalStats.Add(st)
+		totalElapsed += elapsed
+		fmt.Println()
 	}
 
 	if *id == "all" {
 		for _, e := range exp.All() {
 			run(e)
 		}
+		fmt.Fprintf(os.Stderr, "[all artifacts in %v — %s, j=%d]\n",
+			totalElapsed.Round(time.Millisecond), totalStats, exp.Workers())
 		return
 	}
 	e := exp.ByID(*id)

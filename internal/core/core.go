@@ -153,7 +153,15 @@ type Report struct {
 
 	BytesRead    int64
 	BytesWritten int64
+
+	// Events is the number of simulation events the run's engine
+	// executed — the kernel-level work metric behind the run.
+	Events uint64
 }
+
+// EventCount returns the engine event count; it satisfies the experiment
+// runner's EventCounter so sweeps can aggregate simulation work.
+func (r Report) EventCount() uint64 { return r.Events }
 
 // MaxIONodeUtil returns the busiest I/O node's disk busy time relative to
 // the execution time. A node with several drives, or with write-behind
@@ -234,5 +242,6 @@ func (s *System) MakeReport(execSec float64) Report {
 		IONodeBusySec: busy,
 		BytesRead:     agg.Get(trace.Read).Bytes,
 		BytesWritten:  agg.Get(trace.Write).Bytes,
+		Events:        s.Eng.Events(),
 	}
 }

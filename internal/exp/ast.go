@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"pario/internal/apps/ast"
+	"pario/internal/core"
 	"pario/internal/machine"
 )
 
@@ -33,27 +34,35 @@ func init() {
 			if s == Quick {
 				procs = []int{2, 4, 8}
 			}
-			fmt.Fprintf(w, "%6s | %12s %12s | %12s %12s\n", "procs",
-				"unopt 16io", "unopt 64io", "opt 16io", "opt 64io")
+			type job struct {
+				p   int
+				opt bool
+				nio int
+			}
+			var jobs []job
 			for _, p := range procs {
-				var cells [4]string
-				i := 0
 				for _, opt := range []bool{false, true} {
 					for _, nio := range []int{16, 64} {
-						cfg, err := astCfg(s, p, nio, opt)
-						if err != nil {
-							return err
-						}
-						rep, err := ast.Run(cfg)
-						if err != nil {
-							return err
-						}
-						cells[i] = hms(rep.ExecSec)
-						i++
+						jobs = append(jobs, job{p, opt, nio})
 					}
 				}
+			}
+			reps, err := sweep(jobs, func(j job) (core.Report, error) {
+				cfg, err := astCfg(s, j.p, j.nio, j.opt)
+				if err != nil {
+					return core.Report{}, err
+				}
+				return ast.Run(cfg)
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%6s | %12s %12s | %12s %12s\n", "procs",
+				"unopt 16io", "unopt 64io", "opt 16io", "opt 64io")
+			for i, p := range procs {
 				fmt.Fprintf(w, "%6d | %12s %12s | %12s %12s\n", p,
-					cells[0], cells[1], cells[2], cells[3])
+					hms(reps[4*i].ExecSec), hms(reps[4*i+1].ExecSec),
+					hms(reps[4*i+2].ExecSec), hms(reps[4*i+3].ExecSec))
 			}
 			return nil
 		},

@@ -6,6 +6,7 @@ import (
 
 	"pario/internal/apps/btio"
 	"pario/internal/chart"
+	"pario/internal/core"
 	"pario/internal/machine"
 )
 
@@ -24,15 +25,31 @@ func init() {
 		Expect: "unoptimized I/O time is high and erratic (hump near 36 procs); two-phase I/O is " +
 			"flat and low; total time drops ~46%/49% at 36/64 procs",
 		Run: func(w io.Writer, s Scale) error {
-			m, err := machine.SP2()
-			if err != nil {
-				return err
-			}
 			procs := []int{4, 9, 16, 25, 36, 49, 64}
 			if s == Quick {
 				procs = []int{4, 16}
 			}
 			cls := btioClass(s, btio.ClassA)
+			type job struct {
+				p          int
+				collective bool
+			}
+			var jobs []job
+			for _, p := range procs {
+				jobs = append(jobs, job{p, false}, job{p, true})
+			}
+			reps, err := sweep(jobs, func(j job) (core.Report, error) {
+				m, err := machine.SP2()
+				if err != nil {
+					return core.Report{}, err
+				}
+				return btio.Run(btio.Config{
+					Machine: m, Procs: j.p, Class: cls, Collective: j.collective,
+				})
+			})
+			if err != nil {
+				return err
+			}
 			fmt.Fprintf(w, "%6s | %10s %10s | %10s %10s | %8s\n", "procs",
 				"unopt I/O", "unopt tot", "opt I/O", "opt tot", "tot red.")
 			ch := &chart.Chart{
@@ -40,15 +57,8 @@ func init() {
 				LogY:   true,
 				Series: []chart.Series{{Name: "unopt"}, {Name: "two-phase"}},
 			}
-			for _, p := range procs {
-				un, err := btio.Run(btio.Config{Machine: m, Procs: p, Class: cls})
-				if err != nil {
-					return err
-				}
-				op, err := btio.Run(btio.Config{Machine: m, Procs: p, Class: cls, Collective: true})
-				if err != nil {
-					return err
-				}
+			for i, p := range procs {
+				un, op := reps[2*i], reps[2*i+1]
 				red := 100 * (1 - op.ExecSec/un.ExecSec)
 				fmt.Fprintf(w, "%6d | %10s %10s | %10s %10s | %7.1f%%\n", p,
 					hms(un.IOMaxSec), hms(un.ExecSec), hms(op.IOMaxSec), hms(op.ExecSec), red)
@@ -66,10 +76,6 @@ func init() {
 		Title:  "BTIO I/O bandwidths, Class A and Class B",
 		Expect: "original 0.97-1.5 MB/s; optimized 6.6-31.4 MB/s",
 		Run: func(w io.Writer, s Scale) error {
-			m, err := machine.SP2()
-			if err != nil {
-				return err
-			}
 			type row struct {
 				cls   btio.Class
 				dumps int // override for the big class; 0 = class default
@@ -85,21 +91,36 @@ func init() {
 				procs = []int{4, 16}
 				rows = rows[:1]
 			}
-			fmt.Fprintf(w, "%8s %6s | %14s %14s\n", "class", "procs", "orig MB/s", "opt MB/s")
+			type job struct {
+				r          row
+				p          int
+				collective bool
+			}
+			var jobs []job
 			for _, r := range rows {
 				for _, p := range procs {
-					un, err := btio.Run(btio.Config{
-						Machine: m, Procs: p, Class: r.cls, DumpsOverride: r.dumps,
-					})
-					if err != nil {
-						return err
-					}
-					op, err := btio.Run(btio.Config{
-						Machine: m, Procs: p, Class: r.cls, Collective: true, DumpsOverride: r.dumps,
-					})
-					if err != nil {
-						return err
-					}
+					jobs = append(jobs, job{r, p, false}, job{r, p, true})
+				}
+			}
+			reps, err := sweep(jobs, func(j job) (core.Report, error) {
+				m, err := machine.SP2()
+				if err != nil {
+					return core.Report{}, err
+				}
+				return btio.Run(btio.Config{
+					Machine: m, Procs: j.p, Class: j.r.cls,
+					Collective: j.collective, DumpsOverride: j.r.dumps,
+				})
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%8s %6s | %14s %14s\n", "class", "procs", "orig MB/s", "opt MB/s")
+			i := 0
+			for _, r := range rows {
+				for _, p := range procs {
+					un, op := reps[i], reps[i+1]
+					i += 2
 					fmt.Fprintf(w, "%8s %6d | %14.2f %14.2f\n",
 						r.cls.Name, p, un.BandwidthMBs(), op.BandwidthMBs())
 				}

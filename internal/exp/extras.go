@@ -32,16 +32,23 @@ func init() {
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "%6s %16s %16s %12s\n", "procs", "disk-based exec", "direct exec", "winner")
+			type job struct {
+				p int
+				v scf.Version
+			}
+			var jobs []job
 			for _, p := range procs {
-				disk, err := scf.Run11(scf.Config11{Machine: m, Input: in, Procs: p, Version: scf.Original})
-				if err != nil {
-					return err
-				}
-				direct, err := scf.Run11(scf.Config11{Machine: m, Input: in, Procs: p, Version: scf.Direct})
-				if err != nil {
-					return err
-				}
+				jobs = append(jobs, job{p, scf.Original}, job{p, scf.Direct})
+			}
+			reps, err := sweep(jobs, func(j job) (core.Report, error) {
+				return scf.Run11(scf.Config11{Machine: m, Input: in, Procs: j.p, Version: j.v})
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%6s %16s %16s %12s\n", "procs", "disk-based exec", "direct exec", "winner")
+			for i, p := range procs {
+				disk, direct := reps[2*i], reps[2*i+1]
 				winner := "disk-based"
 				if direct.ExecSec < disk.ExecSec {
 					winner = "direct"
@@ -67,12 +74,16 @@ func init() {
 			if err != nil {
 				return err
 			}
+			modes := []pio.Mode{pio.ModeUnix, pio.ModeLog, pio.ModeSync, pio.ModeRecord, pio.ModeGlobal}
+			reps, err := sweep(modes, func(mode pio.Mode) (core.Report, error) {
+				return runModeWorkload(m, procs, ops, opBytes, mode)
+			})
+			if err != nil {
+				return err
+			}
 			fmt.Fprintf(w, "%10s %14s %14s\n", "mode", "wall", "per-op avg")
-			for _, mode := range []pio.Mode{pio.ModeUnix, pio.ModeLog, pio.ModeSync, pio.ModeRecord, pio.ModeGlobal} {
-				wall, err := runModeWorkload(m, procs, ops, opBytes, mode)
-				if err != nil {
-					return err
-				}
+			for i, mode := range modes {
+				wall := reps[i].ExecSec
 				fmt.Fprintf(w, "%10s %14s %14s\n", mode, hms(wall), hms(wall/float64(ops)))
 			}
 			return nil
@@ -93,40 +104,54 @@ func init() {
 			if err != nil {
 				return err
 			}
+			gaps := []int64{0, 1, 4, 16, 64}
+			type job struct {
+				gapX  int64
+				sieve bool
+			}
+			var jobs []job
+			for _, gapX := range gaps {
+				jobs = append(jobs, job{gapX, false}, job{gapX, true})
+			}
+			res, err := sweep(jobs, func(j job) (sieveResult, error) {
+				return runSieveWorkload(m, pieces, pieceLen, j.gapX*pieceLen, j.sieve)
+			})
+			if err != nil {
+				return err
+			}
 			fmt.Fprintf(w, "%10s | %12s %12s | %12s %10s %8s\n",
 				"gap/piece", "piecewise", "sieved", "requests", "waste", "winner")
-			for _, gapX := range []int64{0, 1, 4, 16, 64} {
-				pw, sv, st, err := runSieveWorkload(m, pieces, pieceLen, gapX*pieceLen)
-				if err != nil {
-					return err
-				}
+			for i, gapX := range gaps {
+				pw, sv := res[2*i], res[2*i+1]
 				winner := "sieve"
-				if pw < sv {
+				if pw.wall < sv.wall {
 					winner = "piecewise"
 				}
 				fmt.Fprintf(w, "%10d | %12s %12s | %12d %9.1f%% %8s\n",
-					gapX, hms(pw), hms(sv), st.Requests, 100*st.WasteFraction(), winner)
+					gapX, hms(pw.wall), hms(sv.wall), sv.stats.Requests,
+					100*sv.stats.WasteFraction(), winner)
 			}
 			return nil
 		},
 	})
 }
 
-// runModeWorkload times P ranks each performing the given number of
-// operations on one shared file under a PFS mode.
-func runModeWorkload(m *machine.Config, procs, ops int, opBytes int64, mode pio.Mode) (float64, error) {
+// runModeWorkload runs P ranks each performing the given number of
+// operations on one shared file under a PFS mode; the report's ExecSec is
+// the workload wall clock.
+func runModeWorkload(m *machine.Config, procs, ops int, opBytes int64, mode pio.Mode) (core.Report, error) {
 	sys, err := core.NewSystem(m, procs)
 	if err != nil {
-		return 0, err
+		return core.Report{}, err
 	}
 	f, err := sys.FS.Create("modes.shared", sys.DefaultLayout(),
 		int64(procs*ops)*opBytes)
 	if err != nil {
-		return 0, err
+		return core.Report{}, err
 	}
 	handles := make([]*pio.Handle, procs)
 	var sf *pio.SharedFile
-	return sys.RunRanks(func(p *sim.Proc, rank int) {
+	wall, err := sys.RunRanks(func(p *sim.Proc, rank int) {
 		cl := sys.Client(rank, m.Native)
 		handles[rank] = cl.Open(p, f)
 		sys.Comm.Barrier(p, rank)
@@ -146,46 +171,52 @@ func runModeWorkload(m *machine.Config, procs, ops int, opBytes int64, mode pio.
 			}
 		}
 	})
+	if err != nil {
+		return core.Report{}, err
+	}
+	return sys.MakeReport(wall), nil
 }
 
-// runSieveWorkload times a strided read pattern done piecewise versus
-// sieved, returning both walls and the sieve statistics.
-func runSieveWorkload(m *machine.Config, pieces int, pieceLen, gap int64) (piecewise, sieved float64, st pio.SieveStats, err error) {
+// sieveResult is one sweep point of the sieve ablation.
+type sieveResult struct {
+	wall   float64
+	stats  pio.SieveStats
+	events uint64
+}
+
+// EventCount lets the sweep runner aggregate the point's simulation work.
+func (r sieveResult) EventCount() uint64 { return r.events }
+
+// runSieveWorkload times a strided read pattern done either piecewise or
+// sieved, returning the wall clock and (for sieved runs) the sieve stats.
+func runSieveWorkload(m *machine.Config, pieces int, pieceLen, gap int64, sieve bool) (sieveResult, error) {
 	runs := make([]ooc.Run, pieces)
 	for i := range runs {
 		runs[i] = ooc.Run{Off: int64(i) * (pieceLen + gap), Len: pieceLen}
 	}
 	extent := int64(pieces)*(pieceLen+gap) + pieceLen
 
-	one := func(sieve bool) (float64, pio.SieveStats, error) {
-		sys, serr := core.NewSystem(m, 1)
-		if serr != nil {
-			return 0, pio.SieveStats{}, serr
-		}
-		f, ferr := sys.FS.Create("sieve.data", sys.DefaultLayout(), extent)
-		if ferr != nil {
-			return 0, pio.SieveStats{}, ferr
-		}
-		var stats pio.SieveStats
-		wall, werr := sys.RunRanks(func(p *sim.Proc, rank int) {
-			h := sys.Client(rank, m.Passion).Open(p, f)
-			if sieve {
-				stats = h.ReadSieved(p, runs, 4<<20)
-				return
-			}
-			for _, r := range runs {
-				h.ReadAt(p, r.Off, r.Len)
-			}
-		})
-		return wall, stats, werr
-	}
-	piecewise, _, err = one(false)
+	sys, err := core.NewSystem(m, 1)
 	if err != nil {
-		return 0, 0, pio.SieveStats{}, err
+		return sieveResult{}, err
 	}
-	sieved, st, err = one(true)
+	f, err := sys.FS.Create("sieve.data", sys.DefaultLayout(), extent)
 	if err != nil {
-		return 0, 0, pio.SieveStats{}, err
+		return sieveResult{}, err
 	}
-	return piecewise, sieved, st, nil
+	var stats pio.SieveStats
+	wall, err := sys.RunRanks(func(p *sim.Proc, rank int) {
+		h := sys.Client(rank, m.Passion).Open(p, f)
+		if sieve {
+			stats = h.ReadSieved(p, runs, 4<<20)
+			return
+		}
+		for _, r := range runs {
+			h.ReadAt(p, r.Off, r.Len)
+		}
+	})
+	if err != nil {
+		return sieveResult{}, err
+	}
+	return sieveResult{wall: wall, stats: stats, events: sys.Eng.Events()}, nil
 }

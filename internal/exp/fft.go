@@ -6,6 +6,7 @@ import (
 
 	"pario/internal/apps/fft"
 	"pario/internal/chart"
+	"pario/internal/core"
 	"pario/internal/machine"
 )
 
@@ -24,18 +25,33 @@ func init() {
 				n, buf = 512, 512<<10
 				procs = []int{1, 2, 4, 8}
 			}
-			run := func(p, nio int, opt bool) (execSec, ioSec float64, err error) {
-				m, err := machine.ParagonSmall(nio)
-				if err != nil {
-					return 0, 0, err
+			// The figure's three curves, per processor count.
+			type variant struct {
+				nio int
+				opt bool
+			}
+			variants := []variant{{2, false}, {4, false}, {2, true}}
+			type job struct {
+				p int
+				v variant
+			}
+			var jobs []job
+			for _, p := range procs {
+				for _, v := range variants {
+					jobs = append(jobs, job{p, v})
 				}
-				rep, err := fft.Run(fft.Config{
-					Machine: m, Procs: p, N: n, OptimizedLayout: opt, BufferBytes: buf,
+			}
+			reps, err := sweep(jobs, func(j job) (core.Report, error) {
+				m, err := machine.ParagonSmall(j.v.nio)
+				if err != nil {
+					return core.Report{}, err
+				}
+				return fft.Run(fft.Config{
+					Machine: m, Procs: j.p, N: n, OptimizedLayout: j.v.opt, BufferBytes: buf,
 				})
-				if err != nil {
-					return 0, 0, err
-				}
-				return rep.ExecSec, rep.IOMaxSec, nil
+			})
+			if err != nil {
+				return err
 			}
 			fmt.Fprintf(w, "%6s | %10s %10s | %10s %10s | %10s %10s\n", "procs",
 				"un2 I/O", "un2 exec", "un4 I/O", "un4 exec", "opt2 I/O", "opt2 exec")
@@ -43,25 +59,15 @@ func init() {
 				Title: "I/O time vs compute nodes", YLabel: "procs",
 				Series: []chart.Series{{Name: "unopt-2io"}, {Name: "unopt-4io"}, {Name: "opt-2io"}},
 			}
-			for _, p := range procs {
-				e2, i2, err := run(p, 2, false)
-				if err != nil {
-					return err
-				}
-				e4, i4, err := run(p, 4, false)
-				if err != nil {
-					return err
-				}
-				eo, io2, err := run(p, 2, true)
-				if err != nil {
-					return err
-				}
+			for i, p := range procs {
+				un2, un4, opt2 := reps[3*i], reps[3*i+1], reps[3*i+2]
 				fmt.Fprintf(w, "%6d | %10s %10s | %10s %10s | %10s %10s\n", p,
-					hms(i2), hms(e2), hms(i4), hms(e4), hms(io2), hms(eo))
+					hms(un2.IOMaxSec), hms(un2.ExecSec), hms(un4.IOMaxSec), hms(un4.ExecSec),
+					hms(opt2.IOMaxSec), hms(opt2.ExecSec))
 				ch.XLabels = append(ch.XLabels, fmt.Sprint(p))
-				ch.Series[0].Values = append(ch.Series[0].Values, i2)
-				ch.Series[1].Values = append(ch.Series[1].Values, i4)
-				ch.Series[2].Values = append(ch.Series[2].Values, io2)
+				ch.Series[0].Values = append(ch.Series[0].Values, un2.IOMaxSec)
+				ch.Series[1].Values = append(ch.Series[1].Values, un4.IOMaxSec)
+				ch.Series[2].Values = append(ch.Series[2].Values, opt2.IOMaxSec)
 			}
 			fmt.Fprintf(w, "\n%s", ch.Render(10))
 			return nil

@@ -35,19 +35,34 @@ func init() {
 				{Pattern: workload.Random, TotalBytes: total, RequestBytes: req, Seed: 11},
 				{Pattern: workload.Hotspot, TotalBytes: total, RequestBytes: req, Seed: 13},
 			}
-			fmt.Fprintf(w, "%-12s | %12s %12s %12s\n", "pattern", "fortran", "passion", "native")
+			ifaces := []pio.ClientParams{m.Fortran, m.Passion, m.Native}
+			type job struct {
+				reqs  []workload.Request // generated once, replayed read-only
+				iface pio.ClientParams
+			}
+			var jobs []job
 			for _, spec := range patterns {
 				reqs, err := spec.Requests()
 				if err != nil {
 					return err
 				}
+				for _, iface := range ifaces {
+					jobs = append(jobs, job{reqs, iface})
+				}
+			}
+			reps, err := sweep(jobs, func(j job) (core.Report, error) {
+				return replayPattern(m, j.iface, procs, j.reqs)
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "%-12s | %12s %12s %12s\n", "pattern", "fortran", "passion", "native")
+			i := 0
+			for _, spec := range patterns {
 				fmt.Fprintf(w, "%-12s |", spec.Pattern)
-				for _, iface := range []pio.ClientParams{m.Fortran, m.Passion, m.Native} {
-					rep, err := replayPattern(m, iface, procs, reqs)
-					if err != nil {
-						return err
-					}
-					fmt.Fprintf(w, " %12s", hms(rep.IOMaxSec))
+				for range ifaces {
+					fmt.Fprintf(w, " %12s", hms(reps[i].IOMaxSec))
+					i++
 				}
 				fmt.Fprintln(w)
 			}

@@ -35,6 +35,15 @@ func runSCF11(s Scale, in scf.Input, v scf.Version, procs int, memKB, suKB int64
 	})
 }
 
+// printIOSummary writes the Tables 2-3 layout for one run.
+func printIOSummary(w io.Writer, rep core.Report) {
+	// The paper's percentages are taken against execution time aggregated
+	// across the processors.
+	fmt.Fprint(w, rep.Trace.Table(rep.ExecSec*float64(rep.Procs)))
+	fmt.Fprintf(w, "\nTotal I/O time per process: %s (exec %s, I/O %.1f%% of exec)\n",
+		hms(rep.IOMaxSec), hms(rep.ExecSec), rep.IOPctOfExec())
+}
+
 func init() {
 	register(&Experiment{
 		ID:    "table2",
@@ -42,15 +51,13 @@ func init() {
 		Expect: "aggregated over 4 procs: ~566K reads / 37 GB / ~60,284 s; ~40K writes / 2.5 GB; " +
 			"~1K seeks; I/O ~54% of exec; total I/O 4.4 h per process",
 		Run: func(w io.Writer, s Scale) error {
-			rep, err := runSCF11(s, scf.Large, scf.Original, 4, 64, 64, 12)
+			rep, err := one(func() (core.Report, error) {
+				return runSCF11(s, scf.Large, scf.Original, 4, 64, 64, 12)
+			})
 			if err != nil {
 				return err
 			}
-			// The paper's percentages are taken against execution time
-			// aggregated across the 4 processors.
-			fmt.Fprint(w, rep.Trace.Table(rep.ExecSec*float64(rep.Procs)))
-			fmt.Fprintf(w, "\nTotal I/O time per process: %s (exec %s, I/O %.1f%% of exec)\n",
-				hms(rep.IOMaxSec), hms(rep.ExecSec), rep.IOPctOfExec())
+			printIOSummary(w, rep)
 			return nil
 		},
 	})
@@ -61,13 +68,13 @@ func init() {
 		Expect: "reads drop to ~33,805 s (-45%), writes to ~1,381 s (-50%), seeks explode to " +
 			"~604K cheap calls; total I/O 2.5 h per process",
 		Run: func(w io.Writer, s Scale) error {
-			rep, err := runSCF11(s, scf.Large, scf.Passion, 4, 64, 64, 12)
+			rep, err := one(func() (core.Report, error) {
+				return runSCF11(s, scf.Large, scf.Passion, 4, 64, 64, 12)
+			})
 			if err != nil {
 				return err
 			}
-			fmt.Fprint(w, rep.Trace.Table(rep.ExecSec*float64(rep.Procs)))
-			fmt.Fprintf(w, "\nTotal I/O time per process: %s (exec %s, I/O %.1f%% of exec)\n",
-				hms(rep.IOMaxSec), hms(rep.ExecSec), rep.IOPctOfExec())
+			printIOSummary(w, rep)
 			return nil
 		},
 	})
@@ -100,14 +107,29 @@ func init() {
 			if s == Quick {
 				inputs = inputs[:1]
 			}
+			type job struct {
+				in scf.Input
+				tp tuple
+			}
+			var jobs []job
+			for _, in := range inputs {
+				for _, tp := range tuples {
+					jobs = append(jobs, job{in, tp})
+				}
+			}
+			reps, err := sweep(jobs, func(j job) (core.Report, error) {
+				return runSCF11(s, j.in, j.tp.v, j.tp.p, j.tp.mKB, j.tp.suKB, j.tp.sf)
+			})
+			if err != nil {
+				return err
+			}
+			i := 0
 			for _, in := range inputs {
 				fmt.Fprintf(w, "input %s (N=%d):\n", in.Name, scfInput(s, in).N)
 				fmt.Fprintf(w, "  %-24s %12s %12s\n", "tuple", "exec", "I/O")
 				for _, tp := range tuples {
-					rep, err := runSCF11(s, in, tp.v, tp.p, tp.mKB, tp.suKB, tp.sf)
-					if err != nil {
-						return err
-					}
+					rep := reps[i]
+					i++
 					fmt.Fprintf(w, "  %-24s %12s %12s\n", tp.name, hms(rep.ExecSec), hms(rep.IOMaxSec))
 				}
 				fmt.Fprintln(w)
@@ -126,6 +148,23 @@ func init() {
 			if s == Quick {
 				procs = []int{4, 16, 64}
 			}
+			type job struct {
+				p   int
+				opt bool
+			}
+			var jobs []job
+			for _, p := range procs {
+				jobs = append(jobs, job{p, false}, job{p, true})
+			}
+			reps, err := sweep(jobs, func(j job) (core.Report, error) {
+				if j.opt {
+					return runSCF11(s, scf.Large, scf.PassionPrefetch, j.p, 64, 64, 16)
+				}
+				return runSCF11(s, scf.Large, scf.Original, j.p, 64, 64, 64)
+			})
+			if err != nil {
+				return err
+			}
 			fmt.Fprintf(w, "%6s %16s %16s %16s %16s\n", "procs",
 				"unopt64 exec", "unopt64 I/O", "opt16 exec", "opt16 I/O")
 			ch := &chart.Chart{
@@ -133,15 +172,8 @@ func init() {
 				LogY:   true,
 				Series: []chart.Series{{Name: "unopt64"}, {Name: "opt16"}},
 			}
-			for _, p := range procs {
-				un, err := runSCF11(s, scf.Large, scf.Original, p, 64, 64, 64)
-				if err != nil {
-					return err
-				}
-				op, err := runSCF11(s, scf.Large, scf.PassionPrefetch, p, 64, 64, 16)
-				if err != nil {
-					return err
-				}
+			for i, p := range procs {
+				un, op := reps[2*i], reps[2*i+1]
 				fmt.Fprintf(w, "%6d %16s %16s %16s %16s\n", p,
 					hms(un.ExecSec), hms(un.IOMaxSec), hms(op.ExecSec), hms(op.IOMaxSec))
 				ch.XLabels = append(ch.XLabels, fmt.Sprint(p))
@@ -164,18 +196,33 @@ func init() {
 				procs = []int{4, 16}
 			}
 			nios := []int{12, 16, 64}
+			type job struct {
+				p   int
+				nio int
+			}
+			var jobs []job
+			for _, p := range procs {
+				for _, nio := range nios {
+					jobs = append(jobs, job{p, nio})
+				}
+			}
+			reps, err := sweep(jobs, func(j job) (core.Report, error) {
+				return runSCF11(s, scf.Large, scf.Passion, j.p, 64, 64, j.nio)
+			})
+			if err != nil {
+				return err
+			}
 			fmt.Fprintf(w, "%6s", "procs")
 			for _, nio := range nios {
 				fmt.Fprintf(w, " %10s %10s", fmt.Sprintf("%dio exec", nio), fmt.Sprintf("%dio I/O", nio))
 			}
 			fmt.Fprintln(w)
+			i := 0
 			for _, p := range procs {
 				fmt.Fprintf(w, "%6d", p)
-				for _, nio := range nios {
-					rep, err := runSCF11(s, scf.Large, scf.Passion, p, 64, 64, nio)
-					if err != nil {
-						return err
-					}
+				for range nios {
+					rep := reps[i]
+					i++
 					fmt.Fprintf(w, " %10s %10s", hms(rep.ExecSec), hms(rep.IOMaxSec))
 				}
 				fmt.Fprintln(w)

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"pario/internal/apps/scf"
+	"pario/internal/core"
 	"pario/internal/machine"
 )
 
@@ -22,11 +23,33 @@ func init() {
 				procs = []int{4, 16}
 				cached = []int{0, 50, 100}
 			}
-			for _, nio := range []int{16, 64} {
-				m, err := machine.ParagonLarge(nio)
-				if err != nil {
-					return err
+			nios := []int{16, 64}
+			type job struct {
+				nio, cached, procs int
+			}
+			var jobs []job
+			for _, nio := range nios {
+				for _, c := range cached {
+					for _, p := range procs {
+						jobs = append(jobs, job{nio, c, p})
+					}
 				}
+			}
+			reps, err := sweep(jobs, func(j job) (core.Report, error) {
+				m, err := machine.ParagonLarge(j.nio)
+				if err != nil {
+					return core.Report{}, err
+				}
+				return scf.Run30(scf.Config30{
+					Machine: m, Input: in, Procs: j.procs,
+					CachedPct: j.cached, Balance: true,
+				})
+			})
+			if err != nil {
+				return err
+			}
+			i := 0
+			for _, nio := range nios {
 				fmt.Fprintf(w, "%d I/O nodes — execution time:\n", nio)
 				fmt.Fprintf(w, "  %8s", "cached%")
 				for _, p := range procs {
@@ -35,15 +58,9 @@ func init() {
 				fmt.Fprintln(w)
 				for _, c := range cached {
 					fmt.Fprintf(w, "  %8d", c)
-					for _, p := range procs {
-						rep, err := scf.Run30(scf.Config30{
-							Machine: m, Input: in, Procs: p,
-							CachedPct: c, Balance: true,
-						})
-						if err != nil {
-							return err
-						}
-						fmt.Fprintf(w, " %10s", hms(rep.ExecSec))
+					for range procs {
+						fmt.Fprintf(w, " %10s", hms(reps[i].ExecSec))
+						i++
 					}
 					fmt.Fprintln(w)
 				}

@@ -8,6 +8,7 @@ import (
 	"pario/internal/apps/btio"
 	"pario/internal/apps/fft"
 	"pario/internal/apps/scf"
+	"pario/internal/core"
 	"pario/internal/machine"
 )
 
@@ -42,92 +43,83 @@ func init() {
 			if err != nil {
 				return err
 			}
-
-			// SCF 1.1: interface and prefetch.
-			o, err := scf.Run11(scf.Config11{Machine: pl16, Input: in, Procs: procsSCF, Version: scf.Original})
-			if err != nil {
-				return err
-			}
-			pa, err := scf.Run11(scf.Config11{Machine: pl16, Input: in, Procs: procsSCF, Version: scf.Passion})
-			if err != nil {
-				return err
-			}
-			pf, err := scf.Run11(scf.Config11{Machine: pl16, Input: in, Procs: procsSCF, Version: scf.PassionPrefetch})
-			if err != nil {
-				return err
-			}
-			scf11Iface := improvement(o.ExecSec, pa.ExecSec) >= threshold
-			scf11Pref := improvement(pa.ExecSec, pf.ExecSec) >= threshold
-
-			// SCF 3.0: interface/prefetch inherited from the same runtime.
-			// "Balanced I/O" (§4.3) is the cached-vs-recompute ratio knob:
-			// effective when choosing a good ratio beats a bad one.
-			allRecompute, err := scf.Run30(scf.Config30{Machine: pl16, Input: in, Procs: procsSCF, CachedPct: 0, Balance: true})
-			if err != nil {
-				return err
-			}
-			wellBalanced, err := scf.Run30(scf.Config30{Machine: pl16, Input: in, Procs: procsSCF, CachedPct: 90, Balance: true})
-			if err != nil {
-				return err
-			}
-			scf30Bal := improvement(allRecompute.ExecSec, wellBalanced.ExecSec) >= threshold
-
-			// FFT: file layout.
-			ps2, err := machine.ParagonSmall(2)
-			if err != nil {
-				return err
-			}
 			fftN, fftBuf := int64(512), int64(512<<10)
 			if s == Full {
 				fftN, fftBuf = 2048, 4<<20
-			}
-			fun, err := fft.Run(fft.Config{Machine: ps2, Procs: 4, N: fftN, BufferBytes: fftBuf})
-			if err != nil {
-				return err
-			}
-			fopt, err := fft.Run(fft.Config{Machine: ps2, Procs: 4, N: fftN, BufferBytes: fftBuf, OptimizedLayout: true})
-			if err != nil {
-				return err
-			}
-			fftLayout := improvement(fun.ExecSec, fopt.ExecSec) >= threshold
-
-			// BTIO: collective I/O.
-			sp2, err := machine.SP2()
-			if err != nil {
-				return err
 			}
 			cls := btioClass(Quick, btio.ClassA)
 			if s == Full {
 				cls = btio.Class{Name: "A", N: 64, Dumps: 10}
 			}
-			bun, err := btio.Run(btio.Config{Machine: sp2, Procs: 16, Class: cls})
-			if err != nil {
-				return err
-			}
-			bop, err := btio.Run(btio.Config{Machine: sp2, Procs: 16, Class: cls, Collective: true})
-			if err != nil {
-				return err
-			}
-			btioColl := improvement(bun.ExecSec, bop.ExecSec) >= threshold
 
+			scf11 := func(v scf.Version) func() (core.Report, error) {
+				return func() (core.Report, error) {
+					return scf.Run11(scf.Config11{Machine: pl16, Input: in, Procs: procsSCF, Version: v})
+				}
+			}
+			scf30 := func(cachedPct int) func() (core.Report, error) {
+				return func() (core.Report, error) {
+					return scf.Run30(scf.Config30{Machine: pl16, Input: in, Procs: procsSCF, CachedPct: cachedPct, Balance: true})
+				}
+			}
+			fftRun := func(opt bool) func() (core.Report, error) {
+				return func() (core.Report, error) {
+					ps2, err := machine.ParagonSmall(2)
+					if err != nil {
+						return core.Report{}, err
+					}
+					return fft.Run(fft.Config{Machine: ps2, Procs: 4, N: fftN, BufferBytes: fftBuf, OptimizedLayout: opt})
+				}
+			}
+			btioRun := func(coll bool) func() (core.Report, error) {
+				return func() (core.Report, error) {
+					sp2, err := machine.SP2()
+					if err != nil {
+						return core.Report{}, err
+					}
+					return btio.Run(btio.Config{Machine: sp2, Procs: 16, Class: cls, Collective: coll})
+				}
+			}
+			astRun := func(opt bool) func() (core.Report, error) {
+				return func() (core.Report, error) {
+					cfg, err := astCfg(Quick, 8, 16, opt)
+					if err != nil {
+						return core.Report{}, err
+					}
+					return ast.Run(cfg)
+				}
+			}
+
+			reps, err := runList([]func() (core.Report, error){
+				scf11(scf.Original),        // 0
+				scf11(scf.Passion),         // 1
+				scf11(scf.PassionPrefetch), // 2
+				scf30(0),                   // 3: all-recompute
+				scf30(90),                  // 4: well balanced
+				fftRun(false),              // 5
+				fftRun(true),               // 6
+				btioRun(false),             // 7
+				btioRun(true),              // 8
+				astRun(false),              // 9
+				astRun(true),               // 10
+			})
+			if err != nil {
+				return err
+			}
+
+			// SCF 1.1: interface and prefetch.
+			scf11Iface := improvement(reps[0].ExecSec, reps[1].ExecSec) >= threshold
+			scf11Pref := improvement(reps[1].ExecSec, reps[2].ExecSec) >= threshold
+			// SCF 3.0: interface/prefetch inherited from the same runtime.
+			// "Balanced I/O" (§4.3) is the cached-vs-recompute ratio knob:
+			// effective when choosing a good ratio beats a bad one.
+			scf30Bal := improvement(reps[3].ExecSec, reps[4].ExecSec) >= threshold
+			// FFT: file layout.
+			fftLayout := improvement(reps[5].ExecSec, reps[6].ExecSec) >= threshold
+			// BTIO: collective I/O.
+			btioColl := improvement(reps[7].ExecSec, reps[8].ExecSec) >= threshold
 			// AST: collective I/O.
-			aunCfg, err := astCfg(Quick, 8, 16, false)
-			if err != nil {
-				return err
-			}
-			aopCfg, err := astCfg(Quick, 8, 16, true)
-			if err != nil {
-				return err
-			}
-			aun, err := ast.Run(aunCfg)
-			if err != nil {
-				return err
-			}
-			aop, err := ast.Run(aopCfg)
-			if err != nil {
-				return err
-			}
-			astColl := improvement(aun.ExecSec, aop.ExecSec) >= threshold
+			astColl := improvement(reps[9].ExecSec, reps[10].ExecSec) >= threshold
 
 			tick := func(b bool) string {
 				if b {

@@ -18,6 +18,7 @@ package pfs
 
 import (
 	"fmt"
+	"sort"
 
 	"pario/internal/ionode"
 	"pario/internal/network"
@@ -129,9 +130,28 @@ type File struct {
 // Create makes (or truncates) a file with the given layout. sizeHint, when
 // positive, preallocates contiguous per-node extents for that many bytes;
 // writes beyond the hint grow the file with additional extents.
+//
+// Re-creating an existing file with the same layout truncates it in place,
+// reusing its extents: the file keeps its disk region instead of leaking it
+// in the per-node bump allocator, so disk offsets — and therefore simulated
+// seek distances — are stable across Create/Create cycles. A re-create with
+// a different layout allocates fresh storage (the node-local geometry is
+// incompatible with the old extents).
 func (fs *FS) Create(name string, layout Layout, sizeHint int64) (*File, error) {
 	if err := layout.Validate(len(fs.nodes)); err != nil {
 		return nil, err
+	}
+	if old := fs.files[name]; old != nil && old.layout == layout {
+		old.size = 0
+		if sizeHint > 0 {
+			perNode := old.nodeShare(sizeHint)
+			for rel := 0; rel < layout.StripeFactor; rel++ {
+				if have := old.allocated(rel); have < perNode {
+					old.grow(rel, perNode-have)
+				}
+			}
+		}
+		return old, nil
 	}
 	f := &File{
 		fs:      fs,
@@ -179,20 +199,38 @@ func (f *File) grow(rel int, n int64) {
 	f.fs.nextFree[node] += n
 }
 
-// growthQuantum is the extent size used when a write outruns the size hint.
+// allocated returns the node-local bytes backed by extents on relative
+// node rel. Extents are gapless in local space, so this is the end of the
+// last extent.
+func (f *File) allocated(rel int) int64 {
+	exts := f.extents[rel]
+	if len(exts) == 0 {
+		return 0
+	}
+	last := exts[len(exts)-1]
+	return last.localStart + last.length
+}
+
+// growthQuantum is the allocation granularity when a write outruns the
+// size hint.
 const growthQuantum = 8 << 20
 
 // localToDisk translates a node-local file offset to a drive offset,
-// growing the file if needed.
+// growing the file if needed. A write far past the allocated region grows
+// it in a single extent (rounded up to the growth quantum) rather than one
+// quantum at a time, and lookup binary-searches the sorted, gapless extent
+// list — so a far-past-hint access is O(log extents), not O(extents²).
 func (f *File) localToDisk(rel int, local int64) int64 {
-	for {
-		for _, e := range f.extents[rel] {
-			if local >= e.localStart && local < e.localStart+e.length {
-				return e.diskStart + (local - e.localStart)
-			}
-		}
-		f.grow(rel, growthQuantum)
+	if end := f.allocated(rel); local >= end {
+		need := local + 1 - end
+		f.grow(rel, (need+growthQuantum-1)/growthQuantum*growthQuantum)
 	}
+	exts := f.extents[rel]
+	// Find the last extent with localStart <= local; the growth above
+	// guarantees it contains local.
+	i := sort.Search(len(exts), func(i int) bool { return exts[i].localStart > local }) - 1
+	e := exts[i]
+	return e.diskStart + (local - e.localStart)
 }
 
 // Name returns the file name.

@@ -248,6 +248,125 @@ func TestDistinctFilesDistinctStorage(t *testing.T) {
 	}
 }
 
+// Regression: re-creating a file must truncate in place, reusing the old
+// disk region instead of leaking it in the bump allocator — otherwise the
+// file migrates to ever-higher disk offsets across iterations, perturbing
+// simulated seek distances.
+func TestRecreateReusesDiskOffsets(t *testing.T) {
+	_, fs := newFS(t, 2)
+	layout := Layout{StripeUnit: 100, StripeFactor: 2, FirstNode: 0}
+	f, err := fs.Create("a", layout, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := f.MapRange(0, 1000)
+	for i := 0; i < 5; i++ {
+		g, err := fs.Create("a", layout, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g != f {
+			t.Fatal("re-create with same layout returned a new file")
+		}
+		if g.Size() != 0 {
+			t.Fatalf("re-create did not truncate: size = %d", g.Size())
+		}
+		chunks := g.MapRange(0, 1000)
+		for j, c := range chunks {
+			if c != first[j] {
+				t.Fatalf("iteration %d chunk %d = %+v, want %+v (disk offsets must be stable)",
+					i, j, c, first[j])
+			}
+		}
+	}
+}
+
+// Re-creating with a larger size hint must extend the reused storage.
+func TestRecreateLargerHintGrows(t *testing.T) {
+	_, fs := newFS(t, 2)
+	layout := Layout{StripeUnit: 100, StripeFactor: 2, FirstNode: 0}
+	if _, err := fs.Create("a", layout, 1000); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("a", layout, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first 1000 bytes keep their offsets; the rest is addressable.
+	chunks := f.MapRange(0, 4000)
+	var covered int64
+	for _, c := range chunks {
+		covered += c.Len
+	}
+	if covered != 4000 {
+		t.Fatalf("covered %d bytes, want 4000", covered)
+	}
+}
+
+// A re-create with a different layout gets fresh storage.
+func TestRecreateDifferentLayoutIsFresh(t *testing.T) {
+	_, fs := newFS(t, 2)
+	f, err := fs.Create("a", Layout{StripeUnit: 100, StripeFactor: 2, FirstNode: 0}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs.Create("a", Layout{StripeUnit: 200, StripeFactor: 1, FirstNode: 0}, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g == f {
+		t.Fatal("layout change must not reuse the old file")
+	}
+	if fs.Lookup("a") != g {
+		t.Fatal("Lookup does not return the re-created file")
+	}
+}
+
+// Regression: a write far past the size hint must grow the file in one
+// extent covering the offset, not one 8 MB quantum at a time.
+func TestFarPastHintWriteGrowsOnce(t *testing.T) {
+	e, fs := newFS(t, 2)
+	f, err := fs.Create("a", Layout{StripeUnit: 65536, StripeFactor: 2, FirstNode: 0}, 65536)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const far = 256 << 20 // 32 quanta past the hint
+	e.Spawn("w", func(p *sim.Proc) {
+		f.Transfer(p, 0, far, 4096, true)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for rel := range f.extents {
+		if n := len(f.extents[rel]); n > 2 {
+			t.Fatalf("node %d has %d extents, want <= 2 (hint + one growth)", rel, n)
+		}
+	}
+	if f.Size() != far+4096 {
+		t.Fatalf("Size = %d, want %d", f.Size(), far+4096)
+	}
+}
+
+// The same local offset must map to the same disk offset on repeated
+// lookups, including ones that triggered growth.
+func TestLocalToDiskStable(t *testing.T) {
+	_, fs := newFS(t, 2)
+	f, err := fs.Create("a", Layout{StripeUnit: 4096, StripeFactor: 2, FirstNode: 0}, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offsets := []int64{0, 4095, 4096, 1 << 20, 64 << 20}
+	got := make([]int64, len(offsets))
+	for i, off := range offsets {
+		got[i] = f.localToDisk(0, off)
+	}
+	for i, off := range offsets {
+		if again := f.localToDisk(0, off); again != got[i] {
+			t.Fatalf("localToDisk(0, %d) = %d then %d", off, got[i], again)
+		}
+	}
+}
+
 func TestLookup(t *testing.T) {
 	_, fs := newFS(t, 2)
 	f, _ := fs.Create("a", Layout{StripeUnit: 100, StripeFactor: 1, FirstNode: 0}, 0)

@@ -46,8 +46,12 @@ func (e *Engine) Now() float64 { return e.now }
 func (e *Engine) Events() uint64 { return e.executed }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: it would corrupt the clock.
+// panics: it would corrupt the clock. Scheduling on a stopped engine panics
+// too: after Stop the engine can be inspected but not reused.
 func (e *Engine) At(t float64, fn func()) {
+	if e.stopped {
+		panic("sim: At on stopped engine")
+	}
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", t, e.now))
 	}
@@ -64,8 +68,12 @@ func (e *Engine) After(d float64, fn func()) {
 }
 
 // Spawn creates a process executing body and schedules it to start at the
-// current virtual time. The returned Proc is also passed to body.
+// current virtual time. The returned Proc is also passed to body. Spawning
+// on a stopped engine panics: after Stop the engine cannot be reused.
 func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
+	if e.stopped {
+		panic("sim: Spawn on stopped engine")
+	}
 	p := &Proc{
 		eng:    e,
 		name:   name,
@@ -95,6 +103,17 @@ func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 	return p
 }
 
+// scheduleWake queues a zero-delay wakeup for p. On a stopped engine it is
+// a no-op: the processes are being killed and the event queue has been
+// dropped, so a wakeup could never fire — and synchronization primitives
+// legitimately reach here from the cleanup of killed processes.
+func (e *Engine) scheduleWake(p *Proc) {
+	if e.stopped {
+		return
+	}
+	e.After(0, func() { e.wake(p) })
+}
+
 // wake transfers control to p and blocks the engine until p blocks again or
 // finishes.
 func (e *Engine) wake(p *Proc) {
@@ -111,8 +130,12 @@ func (e *Engine) wake(p *Proc) {
 // Run executes events until the queue drains. It returns an error if, at
 // that point, processes remain blocked (a deadlock: they wait on a signal
 // or resource that can no longer be provided). Blocked processes are killed
-// so their goroutines are reclaimed.
+// so their goroutines are reclaimed. Running a stopped engine is an error:
+// after Stop the engine can be inspected but not reused.
 func (e *Engine) Run() error {
+	if e.stopped {
+		return fmt.Errorf("sim: Run on stopped engine")
+	}
 	if e.running {
 		return fmt.Errorf("sim: Run called re-entrantly")
 	}

@@ -189,6 +189,56 @@ func TestStopKillsProcesses(t *testing.T) {
 	}
 }
 
+func TestRunAfterStopErrors(t *testing.T) {
+	e := NewEngine()
+	e.At(1, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.Stop()
+	if err := e.Run(); err == nil {
+		t.Fatal("Run on a stopped engine did not error")
+	}
+}
+
+func TestSpawnAfterStopPanics(t *testing.T) {
+	e := NewEngine()
+	e.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Error("Spawn on a stopped engine did not panic")
+		}
+	}()
+	e.Spawn("late", func(p *Proc) {})
+}
+
+func TestAtAfterStopPanics(t *testing.T) {
+	e := NewEngine()
+	e.Stop()
+	defer func() {
+		if recover() == nil {
+			t.Error("At on a stopped engine did not panic")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestStopWithExitSignalWaiters(t *testing.T) {
+	// Killing a process that others Join on fires its exit signal during
+	// teardown; that must not try to schedule on the stopped engine.
+	e := NewEngine()
+	s := NewSignal(e)
+	child := e.Spawn("child", func(p *Proc) { p.WaitSignal(s) })
+	e.Spawn("parent", func(p *Proc) { p.Join(child) })
+	wg := NewWaitGroup(e)
+	wg.Go("worker", func(p *Proc) { p.WaitSignal(s) })
+	e.Spawn("waiter", func(p *Proc) { wg.Wait(p) })
+	e.At(1, func() { e.Stop() })
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run with Stop teardown: %v", err)
+	}
+}
+
 func TestZeroDelayPreservesEventOrder(t *testing.T) {
 	e := NewEngine()
 	var order []string

@@ -76,7 +76,7 @@ func (r *Resource) Release() {
 		copy(r.queue, r.queue[1:])
 		r.queue = r.queue[:len(r.queue)-1]
 		// Ownership transfers: inUse is unchanged.
-		r.eng.After(0, func() { r.eng.wake(head) })
+		r.eng.scheduleWake(head)
 		return
 	}
 	if r.inUse == 0 {

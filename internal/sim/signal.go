@@ -24,7 +24,6 @@ func (s *Signal) Fire() {
 	waiters := s.waiters
 	s.waiters = nil
 	for _, p := range waiters {
-		p := p
-		s.eng.After(0, func() { s.eng.wake(p) })
+		s.eng.scheduleWake(p)
 	}
 }

@@ -24,8 +24,7 @@ func (w *WaitGroup) Add(n int) {
 		waiters := w.waiters
 		w.waiters = nil
 		for _, p := range waiters {
-			p := p
-			w.eng.After(0, func() { w.eng.wake(p) })
+			w.eng.scheduleWake(p)
 		}
 	}
 }
