@@ -6,6 +6,8 @@
 //	ioexp -exp table2            # one artifact, full scale
 //	ioexp -exp all -scale quick  # everything, smoke-test sizes
 //	ioexp -exp all -j 8          # sweep points on 8 workers
+//	ioexp -exp fig1 -metrics     # append the cross-layer metrics table
+//	ioexp -exp fig1 -metrics-json  # machine-readable metrics snapshot
 //
 // Artifact ids: table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 table4
 // table5 (plus any registered ablations; -list shows all).
@@ -19,6 +21,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -27,19 +30,30 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind a testable seam: argv in, exit code out.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ioexp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		id    = flag.String("exp", "all", "experiment id, or 'all'")
-		scale = flag.String("scale", "full", "'full' (paper sizes) or 'quick' (smoke test)")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
-		jobs  = flag.Int("j", runtime.NumCPU(), "concurrent sweep points per experiment")
+		id      = fs.String("exp", "all", "experiment id, or 'all'")
+		scale   = fs.String("scale", "full", "'full' (paper sizes) or 'quick' (smoke test)")
+		list    = fs.Bool("list", false, "list experiment ids and exit")
+		jobs    = fs.Int("j", runtime.NumCPU(), "concurrent sweep points per experiment")
+		metrics = fs.Bool("metrics", false, "print each artifact's cross-layer metrics table")
+		metJSON = fs.Bool("metrics-json", false, "print each artifact's metrics snapshot as JSON")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, e := range exp.All() {
-			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-8s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 
 	var s exp.Scale
@@ -49,42 +63,57 @@ func main() {
 	case "quick":
 		s = exp.Quick
 	default:
-		fmt.Fprintf(os.Stderr, "ioexp: unknown scale %q\n", *scale)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "ioexp: unknown scale %q\n", *scale)
+		return 2
 	}
 	exp.SetWorkers(*jobs)
 
 	var totalStats exp.Stats
 	var totalElapsed time.Duration
-	run := func(e *exp.Experiment) {
+	runOne := func(e *exp.Experiment) int {
 		start := time.Now()
-		fmt.Printf("== %s: %s [%s scale] ==\n", e.ID, e.Title, s)
-		fmt.Printf("paper: %s\n\n", e.Expect)
-		if err := e.Run(os.Stdout, s); err != nil {
-			fmt.Fprintf(os.Stderr, "ioexp: %s: %v\n", e.ID, err)
-			os.Exit(1)
+		fmt.Fprintf(stdout, "== %s: %s [%s scale] ==\n", e.ID, e.Title, s)
+		fmt.Fprintf(stdout, "paper: %s\n\n", e.Expect)
+		if err := e.Run(stdout, s); err != nil {
+			fmt.Fprintf(stderr, "ioexp: %s: %v\n", e.ID, err)
+			return 1
 		}
 		elapsed := time.Since(start)
 		st := exp.TakeStats()
-		fmt.Fprintf(os.Stderr, "[%s completed in %v — %s, j=%d]\n",
+		snap := exp.TakeSnapshot()
+		if *metrics && snap != nil {
+			fmt.Fprintf(stdout, "\n-- %s metrics --\n%s", e.ID, snap.Table())
+		}
+		if *metJSON && snap != nil {
+			j, jerr := snap.JSON()
+			if jerr != nil {
+				fmt.Fprintf(stderr, "ioexp: %s: metrics json: %v\n", e.ID, jerr)
+				return 1
+			}
+			fmt.Fprintf(stdout, "%s\n", j)
+		}
+		fmt.Fprintf(stderr, "[%s completed in %v — %s, j=%d]\n",
 			e.ID, elapsed.Round(time.Millisecond), st, exp.Workers())
 		totalStats.Add(st)
 		totalElapsed += elapsed
-		fmt.Println()
+		fmt.Fprintln(stdout)
+		return 0
 	}
 
 	if *id == "all" {
 		for _, e := range exp.All() {
-			run(e)
+			if code := runOne(e); code != 0 {
+				return code
+			}
 		}
-		fmt.Fprintf(os.Stderr, "[all artifacts in %v — %s, j=%d]\n",
+		fmt.Fprintf(stderr, "[all artifacts in %v — %s, j=%d]\n",
 			totalElapsed.Round(time.Millisecond), totalStats, exp.Workers())
-		return
+		return 0
 	}
 	e := exp.ByID(*id)
 	if e == nil {
-		fmt.Fprintf(os.Stderr, "ioexp: unknown experiment %q (use -list)\n", *id)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "ioexp: unknown experiment %q (use -list)\n", *id)
+		return 2
 	}
-	run(e)
+	return runOne(e)
 }

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, id := range []string{"table2", "fig7", "table5"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list missing %s:\n%s", id, out.String())
+		}
+	}
+}
+
+func TestRunArtifactWithMetrics(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-exp", "table2", "-scale", "quick", "-j", "2", "-metrics"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"All I/O", "-- table2 metrics --", "disk.seeks"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	if !strings.Contains(errb.String(), "table2 completed") {
+		t.Errorf("stderr missing timing summary:\n%s", errb.String())
+	}
+}
+
+func TestRunMetricsJSON(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "table3", "-scale", "quick", "-metrics-json"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), `"counters"`) || !strings.Contains(out.String(), `"wall_sec"`) {
+		t.Errorf("no JSON snapshot in output:\n%s", out.String())
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown experiment: exit %d, want 2", code)
+	}
+	if code := run([]string{"-scale", "huge"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown scale: exit %d, want 2", code)
+	}
+}

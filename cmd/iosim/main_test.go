@@ -1,0 +1,50 @@
+package main
+
+import "testing"
+
+// TestRunApps smoke-tests the driver's dispatch for every application at
+// sizes that simulate in well under a second each.
+func TestRunApps(t *testing.T) {
+	// btio and ast run their optimized versions: same dispatch path, an
+	// order of magnitude fewer simulated requests at the paper sizes.
+	cases := []struct {
+		name string
+		app  string
+		opt  bool
+	}{
+		{"scf11", "scf11", false},
+		{"scf30", "scf30", false},
+		{"fft", "fft", false},
+		{"btio", "btio", true},
+		{"ast", "ast", true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rep, err := run(c.app, 4, 0, c.opt, "SMALL", "original", 90, "A")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.ExecSec <= 0 {
+				t.Fatalf("%s: non-positive exec time %g", c.app, rep.ExecSec)
+			}
+			if rep.BytesRead+rep.BytesWritten <= 0 {
+				t.Fatalf("%s: no I/O simulated", c.app)
+			}
+			if rep.Stats == nil {
+				t.Fatalf("%s: report missing metrics snapshot", c.app)
+			}
+		})
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := run("nope", 4, 0, false, "SMALL", "original", 90, "A"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := run("scf11", 4, 0, false, "HUGE", "original", 90, "A"); err == nil {
+		t.Fatal("unknown input accepted")
+	}
+	if _, err := run("scf11", 4, 0, false, "SMALL", "turbo", 90, "A"); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+
+	"pario/internal/trace"
+)
+
+func TestRunAppProducesTrace(t *testing.T) {
+	rep, err := runApp("fft", 2, "SMALL", "original", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace == nil {
+		t.Fatal("no trace recorder on report")
+	}
+	if rep.Trace.Get(trace.Read).Count == 0 && rep.Trace.Get(trace.Write).Count == 0 {
+		t.Fatal("trace recorded no data operations")
+	}
+	if rep.Trace.Table(rep.ExecSec*float64(rep.Procs)) == "" {
+		t.Fatal("empty summary table")
+	}
+}
+
+func TestRunAppUnknown(t *testing.T) {
+	if _, err := runApp("nope", 2, "SMALL", "original", false); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

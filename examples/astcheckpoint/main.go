@@ -8,7 +8,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"pario/internal/apps/ast"
 	"pario/internal/machine"
@@ -18,18 +20,25 @@ func main() {
 	// Reduced arrays so the example runs in seconds (Table 4's full
 	// 2Kx2K x 5-array runs come from cmd/ioexp -exp table4).
 	base := ast.Config{N: 512, Arrays: 3, Dumps: 4}
+	if err := run(os.Stdout, base, []int{4, 8, 16, 32}); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	fmt.Printf("AST checkpoint dumps: %d arrays of %dx%d doubles, %d dump points\n\n",
+// run prints the funnel-versus-collective comparison for each processor
+// count.
+func run(w io.Writer, base ast.Config, procCounts []int) error {
+	fmt.Fprintf(w, "AST checkpoint dumps: %d arrays of %dx%d doubles, %d dump points\n\n",
 		base.Arrays, base.N, base.N, base.Dumps)
-	fmt.Printf("%6s | %12s %12s | %12s %12s\n", "procs",
+	fmt.Fprintf(w, "%6s | %12s %12s | %12s %12s\n", "procs",
 		"funnel 16io", "funnel 64io", "2phase 16io", "2phase 64io")
-	for _, procs := range []int{4, 8, 16, 32} {
+	for _, procs := range procCounts {
 		var cells []float64
 		for _, opt := range []bool{false, true} {
 			for _, nio := range []int{16, 64} {
 				m, err := machine.ParagonLarge(nio)
 				if err != nil {
-					log.Fatal(err)
+					return err
 				}
 				cfg := base
 				cfg.Machine = m
@@ -37,15 +46,16 @@ func main() {
 				cfg.Optimized = opt
 				rep, err := ast.Run(cfg)
 				if err != nil {
-					log.Fatal(err)
+					return err
 				}
 				cells = append(cells, rep.ExecSec)
 			}
 		}
-		fmt.Printf("%6d | %11.1fs %11.1fs | %11.1fs %11.1fs\n",
+		fmt.Fprintf(w, "%6d | %11.1fs %11.1fs | %11.1fs %11.1fs\n",
 			procs, cells[0], cells[1], cells[2], cells[3])
 	}
-	fmt.Println("\nThe funnel's cost is set by its small chunks and single writer, so")
-	fmt.Println("quadrupling the I/O partition barely moves it; two-phase collective")
-	fmt.Println("I/O removes the pattern problem and runs an order of magnitude faster.")
+	fmt.Fprintln(w, "\nThe funnel's cost is set by its small chunks and single writer, so")
+	fmt.Fprintln(w, "quadrupling the I/O partition barely moves it; two-phase collective")
+	fmt.Fprintln(w, "I/O removes the pattern problem and runs an order of magnitude faster.")
+	return nil
 }

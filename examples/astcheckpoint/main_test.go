@@ -1,0 +1,23 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pario/internal/apps/ast"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, ast.Config{N: 64, Arrays: 1, Dumps: 1}, []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "funnel 16io") || !strings.Contains(out, "2phase 64io") {
+		t.Fatalf("missing comparison columns:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 5 {
+		t.Fatalf("suspiciously short output:\n%s", out)
+	}
+}

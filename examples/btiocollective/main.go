@@ -8,7 +8,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"pario/internal/apps/btio"
 	"pario/internal/machine"
@@ -16,33 +18,41 @@ import (
 )
 
 func main() {
-	m, err := machine.SP2()
-	if err != nil {
-		log.Fatal(err)
-	}
 	// A reduced Class A so the example runs in seconds; pass the real
 	// class through cmd/ioexp -exp fig6 for the paper-size sweep.
 	cls := btio.Class{Name: "A/4", N: 32, Dumps: 10}
+	if err := run(os.Stdout, cls, []int{4, 9, 16, 25, 36}); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	fmt.Printf("BTIO on the SP-2 (PIOFS, 4 I/O nodes x 4 SSA disks), %d dumps of %d^3 x 5 doubles\n\n",
+// run prints the independent-versus-collective comparison for each
+// processor count.
+func run(w io.Writer, cls btio.Class, procCounts []int) error {
+	m, err := machine.SP2()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "BTIO on the SP-2 (PIOFS, 4 I/O nodes x 4 SSA disks), %d dumps of %d^3 x 5 doubles\n\n",
 		cls.Dumps, cls.N)
-	fmt.Printf("%6s | %10s %10s %12s | %10s %10s %12s | %8s\n", "procs",
+	fmt.Fprintf(w, "%6s | %10s %10s %12s | %10s %10s %12s | %8s\n", "procs",
 		"unopt I/O", "unopt tot", "unopt writes", "opt I/O", "opt tot", "opt writes", "speedup")
-	for _, procs := range []int{4, 9, 16, 25, 36} {
+	for _, procs := range procCounts {
 		un, err := btio.Run(btio.Config{Machine: m, Procs: procs, Class: cls})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		op, err := btio.Run(btio.Config{Machine: m, Procs: procs, Class: cls, Collective: true})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%6d | %9.1fs %9.1fs %12d | %9.1fs %9.1fs %12d | %7.1fx\n",
+		fmt.Fprintf(w, "%6d | %9.1fs %9.1fs %12d | %9.1fs %9.1fs %12d | %7.1fx\n",
 			procs,
 			un.IOMaxSec, un.ExecSec, un.Trace.Get(trace.Write).Count,
 			op.IOMaxSec, op.ExecSec, op.Trace.Get(trace.Write).Count,
 			un.ExecSec/op.ExecSec)
 	}
-	fmt.Println("\nThe unoptimized version's request count grows with sqrt(P) while its")
-	fmt.Println("requests shrink; the collective version issues P large requests per dump.")
+	fmt.Fprintln(w, "\nThe unoptimized version's request count grows with sqrt(P) while its")
+	fmt.Fprintln(w, "requests shrink; the collective version issues P large requests per dump.")
+	return nil
 }

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pario/internal/apps/btio"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	cls := btio.Class{Name: "smoke", N: 16, Dumps: 2}
+	if err := run(&buf, cls, []int{4}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "speedup") || !strings.Contains(out, "unopt writes") {
+		t.Fatalf("missing comparison columns:\n%s", out)
+	}
+}

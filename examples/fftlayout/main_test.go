@@ -1,0 +1,20 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 256, 1<<18, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, col := range []string{"unopt 2io", "unopt 4io", "opt 2io"} {
+		if !strings.Contains(out, col) {
+			t.Fatalf("missing column %q:\n%s", col, out)
+		}
+	}
+}

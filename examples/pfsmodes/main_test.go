@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+
+	"pario/internal/machine"
+	"pario/internal/pio"
+)
+
+// TestRunModes smokes the shared-file workload under every PFS mode and
+// checks the cost ordering the example prints prose about: the serializing
+// M_LOG mode cannot beat the coordination-free M_RECORD mode.
+func TestRunModes(t *testing.T) {
+	m, err := machine.ParagonLarge(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walls := map[pio.Mode]float64{}
+	for _, mode := range []pio.Mode{pio.ModeUnix, pio.ModeLog, pio.ModeSync, pio.ModeRecord, pio.ModeGlobal} {
+		wall, err := run(m, 4, 2, 64<<10, mode)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if wall <= 0 {
+			t.Fatalf("%s: non-positive wall %g", mode, wall)
+		}
+		walls[mode] = wall
+	}
+	if walls[pio.ModeLog] < walls[pio.ModeRecord] {
+		t.Fatalf("M_LOG (%g) beat M_RECORD (%g): serialization should cost",
+			walls[pio.ModeLog], walls[pio.ModeRecord])
+	}
+}

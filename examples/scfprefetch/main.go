@@ -8,44 +8,54 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"pario/internal/apps/scf"
 	"pario/internal/machine"
 )
 
 func main() {
-	m, err := machine.ParagonLarge(12)
-	if err != nil {
-		log.Fatal(err)
-	}
 	// A reduced basis set so the example runs in seconds; scf.Large with
 	// the same code path reproduces the paper's Tables 2-3.
-	in := scf.Input{Name: "demo", N: 64}
-	fmt.Printf("SCF 1.1 (disk-based Hartree-Fock), N=%d basis functions, 4 processes\n", in.N)
-	fmt.Printf("integral file: %.1f MB per run, re-read %d times\n\n",
+	if err := run(os.Stdout, scf.Input{Name: "demo", N: 64}, []int{1, 2, 4}); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run prints the interface comparison and the prefetch-depth sweep for
+// the given input.
+func run(w io.Writer, in scf.Input, depths []int) error {
+	m, err := machine.ParagonLarge(12)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "SCF 1.1 (disk-based Hartree-Fock), N=%d basis functions, 4 processes\n", in.N)
+	fmt.Fprintf(w, "integral file: %.1f MB per run, re-read %d times\n\n",
 		float64(scf.StoredBytes(in))/1e6, 15)
 
 	for _, v := range []scf.Version{scf.Original, scf.Passion, scf.PassionPrefetch} {
 		rep, err := scf.Run11(scf.Config11{Machine: m, Input: in, Procs: 4, Version: v})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%-18s exec %8.1f s   I/O %8.1f s (%4.1f%% of exec)\n",
+		fmt.Fprintf(w, "%-18s exec %8.1f s   I/O %8.1f s (%4.1f%% of exec)\n",
 			v.String()+":", rep.ExecSec, rep.IOMaxSec, rep.IOPctOfExec())
 	}
 
-	fmt.Println("\nprefetch depth sweep (PASSION interface):")
-	for _, depth := range []int{1, 2, 4} {
+	fmt.Fprintln(w, "\nprefetch depth sweep (PASSION interface):")
+	for _, depth := range depths {
 		rep, err := scf.Run11(scf.Config11{
 			Machine: m, Input: in, Procs: 4,
 			Version: scf.PassionPrefetch, PrefetchDepth: depth,
 		})
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("  depth %d: exec %8.1f s   I/O %8.1f s\n", depth, rep.ExecSec, rep.IOMaxSec)
+		fmt.Fprintf(w, "  depth %d: exec %8.1f s   I/O %8.1f s\n", depth, rep.ExecSec, rep.IOMaxSec)
 	}
-	fmt.Println("\nWith per-chunk compute above per-chunk I/O, one buffer of lookahead")
-	fmt.Println("already hides nearly all read latency (the paper's F versions).")
+	fmt.Fprintln(w, "\nWith per-chunk compute above per-chunk I/O, one buffer of lookahead")
+	fmt.Fprintln(w, "already hides nearly all read latency (the paper's F versions).")
+	return nil
 }

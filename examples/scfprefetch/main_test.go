@@ -1,0 +1,22 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"pario/internal/apps/scf"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, scf.Input{Name: "smoke", N: 32}, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"original", "passion", "prefetch", "depth 1", "depth 2"} {
+		if !strings.Contains(strings.ToLower(out), want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}

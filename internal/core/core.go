@@ -18,6 +18,7 @@ import (
 	"pario/internal/pfs"
 	"pario/internal/pio"
 	"pario/internal/sim"
+	"pario/internal/stats"
 	"pario/internal/topology"
 	"pario/internal/trace"
 )
@@ -157,11 +158,22 @@ type Report struct {
 	// Events is the number of simulation events the run's engine
 	// executed — the kernel-level work metric behind the run.
 	Events uint64
+
+	// Stats is the cross-layer metrics snapshot of the run: disk seeks
+	// and service times, I/O-node queue depth and utilization, network
+	// traffic and stalls, PFS request-size histograms, I/O-library
+	// discipline counts. Nil only for zero-value Reports.
+	Stats *stats.Snapshot
 }
 
 // EventCount returns the engine event count; it satisfies the experiment
 // runner's EventCounter so sweeps can aggregate simulation work.
 func (r Report) EventCount() uint64 { return r.Events }
+
+// StatsSnapshot returns the run's metrics snapshot; it satisfies the
+// experiment runner's SnapshotProvider so sweeps can aggregate metrics
+// across points.
+func (r Report) StatsSnapshot() *stats.Snapshot { return r.Stats }
 
 // MaxIONodeUtil returns the busiest I/O node's disk busy time relative to
 // the execution time. A node with several drives, or with write-behind
@@ -230,6 +242,22 @@ func (s *System) MakeReport(execSec float64) Report {
 	for i := 0; i < s.FS.NumIONodes(); i++ {
 		busy = append(busy, s.FS.IONode(i).Stats().BusySec)
 	}
+	// Fold the orchestration-level view into the registry before taking
+	// the snapshot: execution time and the I/O-partition balance the
+	// layers below cannot see (they know busy time, not the run's span).
+	reg := s.Eng.Metrics()
+	reg.Float("core.exec_sec", stats.AggSum).Set(execSec)
+	var busySum, utilMax float64
+	for _, b := range busy {
+		busySum += b
+		if execSec > 0 && b/execSec > utilMax {
+			utilMax = b / execSec
+		}
+	}
+	reg.Float("ionode.busy_sec", stats.AggSum).Set(busySum)
+	reg.Float("ionode.util_max", stats.AggMax).Set(utilMax)
+	snap := reg.Snapshot(s.Eng.Now())
+	snap.WallSec = s.Eng.WallSec()
 	return Report{
 		Machine:       s.Cfg.Name,
 		Procs:         s.Procs,
@@ -243,5 +271,6 @@ func (s *System) MakeReport(execSec float64) Report {
 		BytesRead:     agg.Get(trace.Read).Bytes,
 		BytesWritten:  agg.Get(trace.Write).Bytes,
 		Events:        s.Eng.Events(),
+		Stats:         snap,
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"pario/internal/sim"
+	"pario/internal/stats"
 )
 
 // Params holds the drive cost model.
@@ -61,6 +62,13 @@ type Disk struct {
 	par  Params
 	head int64
 	st   Stats
+
+	// Metric handles into the engine's registry; all drives of a run feed
+	// the same named metrics, so they aggregate system-wide.
+	mSeeks      *stats.Counter
+	mBytesRead  *stats.Counter
+	mBytesWrite *stats.Counter
+	mSvcTime    *stats.Histogram
 }
 
 // New returns an idle disk with the head at offset 0.
@@ -68,7 +76,14 @@ func New(eng *sim.Engine, name string, par Params) (*Disk, error) {
 	if err := par.Validate(); err != nil {
 		return nil, err
 	}
-	return &Disk{eng: eng, res: sim.NewResource(eng, name, 1), par: par}, nil
+	reg := eng.Metrics()
+	return &Disk{
+		eng: eng, res: sim.NewResource(eng, name, 1), par: par,
+		mSeeks:      reg.Counter("disk.seeks"),
+		mBytesRead:  reg.Counter("disk.bytes_read"),
+		mBytesWrite: reg.Counter("disk.bytes_written"),
+		mSvcTime:    reg.Histogram("disk.svc_time", "us"),
+	}, nil
 }
 
 // seekTime returns the head-movement cost from the current position to
@@ -111,16 +126,20 @@ func (d *Disk) Access(p *sim.Proc, off, size int64, write bool) {
 	if s := d.seekTime(off); s > 0 {
 		svc += s
 		d.st.Seeks++
+		d.mSeeks.Inc()
 	}
 	d.head = off + size
 	if write {
 		d.st.Writes++
 		d.st.BytesWrite += size
+		d.mBytesWrite.Add(size)
 	} else {
 		d.st.Reads++
 		d.st.BytesRead += size
+		d.mBytesRead.Add(size)
 	}
 	d.st.BusySec += svc
+	d.mSvcTime.Observe(svc * 1e6)
 	p.Delay(svc)
 	d.res.Release()
 }

@@ -10,6 +10,7 @@ import (
 	"pario/internal/ooc"
 	"pario/internal/pio"
 	"pario/internal/sim"
+	sstats "pario/internal/stats"
 )
 
 // The experiments below go beyond the paper's published artifacts: they
@@ -182,10 +183,14 @@ type sieveResult struct {
 	wall   float64
 	stats  pio.SieveStats
 	events uint64
+	snap   *sstats.Snapshot
 }
 
 // EventCount lets the sweep runner aggregate the point's simulation work.
 func (r sieveResult) EventCount() uint64 { return r.events }
+
+// StatsSnapshot lets the sweep runner merge the point's metrics.
+func (r sieveResult) StatsSnapshot() *sstats.Snapshot { return r.snap }
 
 // runSieveWorkload times a strided read pattern done either piecewise or
 // sieved, returning the wall clock and (for sieved runs) the sieve stats.
@@ -218,5 +223,6 @@ func runSieveWorkload(m *machine.Config, pieces int, pieceLen, gap int64, sieve 
 	if err != nil {
 		return sieveResult{}, err
 	}
-	return sieveResult{wall: wall, stats: stats, events: sys.Eng.Events()}, nil
+	rep := sys.MakeReport(wall)
+	return sieveResult{wall: wall, stats: stats, events: rep.Events, snap: rep.Stats}, nil
 }

@@ -13,6 +13,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	sstats "pario/internal/stats"
 )
 
 // workerMu guards the package-level worker-count default and the sweep
@@ -105,6 +107,10 @@ func (s Stats) String() string {
 // through Experiment.Run.
 var accum Stats
 
+// accumSnap merges the metrics snapshots of every sweep point since the
+// last TakeSnapshot — the cross-layer breakdown behind ioexp -metrics.
+var accumSnap *sstats.Snapshot
+
 // TakeStats returns the stats accumulated since the previous call and
 // resets the accumulator.
 func TakeStats() Stats {
@@ -115,10 +121,29 @@ func TakeStats() Stats {
 	return out
 }
 
+// TakeSnapshot returns the metrics snapshot merged over every sweep point
+// since the previous call (nil if none carried metrics) and resets the
+// accumulator. Points are merged in sweep input order, so the result is
+// byte-identical at any worker count.
+func TakeSnapshot() *sstats.Snapshot {
+	workerMu.Lock()
+	defer workerMu.Unlock()
+	out := accumSnap
+	accumSnap = nil
+	return out
+}
+
 // EventCounter is implemented by job results that can report how many
 // simulation events their run executed (core.Report does).
 type EventCounter interface {
 	EventCount() uint64
+}
+
+// SnapshotProvider is implemented by job results that carry a cross-layer
+// metrics snapshot (core.Report does). The runner merges provided
+// snapshots across sweep points.
+type SnapshotProvider interface {
+	StatsSnapshot() *sstats.Snapshot
 }
 
 // Progress is called after each sweep point completes. done is the number
@@ -199,8 +224,32 @@ func MapProgress[J, R any](jobs []J, workers int, fn func(J) (R, error), progres
 	}
 	stats.Elapsed = time.Since(start)
 
+	// Merge per-point metric snapshots strictly in input order — NOT
+	// completion order — so float sums, and therefore rendered metrics,
+	// are identical at any worker count.
+	var sweepSnap *sstats.Snapshot
+	for i := range results {
+		if errs[i] != nil {
+			continue
+		}
+		if sp, ok := any(results[i]).(SnapshotProvider); ok {
+			if snap := sp.StatsSnapshot(); snap != nil {
+				if sweepSnap == nil {
+					sweepSnap = &sstats.Snapshot{}
+				}
+				sweepSnap.Merge(snap)
+			}
+		}
+	}
+
 	workerMu.Lock()
 	accum.Add(stats)
+	if sweepSnap != nil {
+		if accumSnap == nil {
+			accumSnap = &sstats.Snapshot{}
+		}
+		accumSnap.Merge(sweepSnap)
+	}
 	workerMu.Unlock()
 
 	for i, err := range errs {

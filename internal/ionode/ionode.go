@@ -19,6 +19,7 @@ import (
 
 	"pario/internal/disk"
 	"pario/internal/sim"
+	"pario/internal/stats"
 )
 
 // Params configures an I/O node.
@@ -56,6 +57,14 @@ type Node struct {
 	cacheSpace *sim.Signal // re-armed whenever space frees
 
 	requests int64
+
+	// Metric handles. All I/O nodes of a run share them by name, so
+	// mInflight/mQDepth track the system-wide outstanding-request level —
+	// the queue-depth time series of the architecture-balance analysis.
+	mRequests  *stats.Counter
+	mInflight  *stats.Counter
+	mQDepth    *stats.Series
+	mWriteback *stats.Counter
 }
 
 // New builds an I/O node.
@@ -63,8 +72,13 @@ func New(eng *sim.Engine, name string, par Params) (*Node, error) {
 	if err := par.Validate(); err != nil {
 		return nil, err
 	}
+	reg := eng.Metrics()
 	n := &Node{eng: eng, name: name, par: par,
-		cpu: sim.NewResource(eng, name+".cpu", 1)}
+		cpu:        sim.NewResource(eng, name+".cpu", 1),
+		mRequests:  reg.Counter("ionode.requests"),
+		mInflight:  reg.Counter("ionode.inflight"),
+		mQDepth:    reg.Series("ionode.qdepth"),
+		mWriteback: reg.Counter("ionode.writeback_bytes")}
 	for i := 0; i < par.NumDisks; i++ {
 		d, err := disk.New(eng, fmt.Sprintf("%s.disk%d", name, i), par.Disk)
 		if err != nil {
@@ -98,12 +112,19 @@ func (n *Node) Access(p *sim.Proc, diskIdx int, off, size int64, write bool) {
 		panic(fmt.Sprintf("ionode %s: disk index %d out of range", n.name, diskIdx))
 	}
 	n.requests++
+	n.mRequests.Inc()
+	// The queue-depth series tracks requests outstanding against the I/O
+	// partition, from arrival at the node until the backing disk write or
+	// read completes (a cached write stays in flight until its drain
+	// finishes — dirty data is still queued work).
+	n.mQDepth.Observe(n.eng.Now(), float64(n.mInflight.Add(1)))
 	if n.par.ServerOverhead > 0 {
 		n.cpu.Use(p, n.par.ServerOverhead)
 	}
 	d := n.disks[diskIdx]
 	if !write || n.par.CacheBytes == 0 {
 		d.Access(p, off, size, write)
+		n.mQDepth.Observe(n.eng.Now(), float64(n.mInflight.Add(-1)))
 		return
 	}
 	// Write-behind: wait for cache space, copy in, schedule async drain.
@@ -114,12 +135,14 @@ func (n *Node) Access(p *sim.Proc, diskIdx int, off, size int64, write bool) {
 		p.WaitSignal(n.cacheSpace)
 	}
 	n.dirty += size
+	n.mWriteback.Add(size)
 	if c := float64(size) * n.par.CacheCopyByteTime; c > 0 {
 		p.Delay(c)
 	}
 	n.eng.Spawn(n.name+".drain", func(w *sim.Proc) {
 		d.Access(w, off, size, true)
 		n.dirty -= size
+		n.mQDepth.Observe(n.eng.Now(), float64(n.mInflight.Add(-1)))
 		if n.cacheSpace != nil && !n.cacheSpace.Fired() {
 			n.cacheSpace.Fire()
 		}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"pario/internal/sim"
+	"pario/internal/stats"
 	"pario/internal/topology"
 )
 
@@ -46,6 +47,10 @@ type Network struct {
 
 	msgs      int64
 	bytesSent int64
+
+	mMsgs   *stats.Counter
+	mBytes  *stats.Counter
+	mStalls *stats.Counter
 }
 
 // New builds the interconnect for the given topology.
@@ -53,7 +58,12 @@ func New(eng *sim.Engine, topo *topology.Topology, par Params) (*Network, error)
 	if err := par.Validate(); err != nil {
 		return nil, err
 	}
-	n := &Network{eng: eng, topo: topo, par: par}
+	reg := eng.Metrics()
+	n := &Network{eng: eng, topo: topo, par: par,
+		mMsgs:   reg.Counter("net.msgs"),
+		mBytes:  reg.Counter("net.bytes"),
+		mStalls: reg.Counter("net.stalls"),
+	}
 	n.nics = make([]*sim.Resource, topo.NumNodes())
 	for i := range n.nics {
 		n.nics[i] = sim.NewResource(eng, fmt.Sprintf("nic%d", i), 1)
@@ -77,6 +87,8 @@ func (n *Network) Send(p *sim.Proc, src, dst int, size int64) {
 	}
 	n.msgs++
 	n.bytesSent += size
+	n.mMsgs.Inc()
+	n.mBytes.Add(size)
 	if src == dst {
 		if d := float64(size) * n.par.MemCopyByteTime; d > 0 {
 			p.Delay(d)
@@ -88,7 +100,14 @@ func (n *Network) Send(p *sim.Proc, src, dst int, size int64) {
 	if setup > 0 {
 		p.Delay(setup)
 	}
-	n.nics[dst].Use(p, float64(size)*n.par.ByteTime)
+	nic := n.nics[dst]
+	// A busy destination NIC means this transfer will queue behind another
+	// sender — the link-contention stall the paper's I/O-node analysis is
+	// about.
+	if nic.InUse() >= nic.Cap() {
+		n.mStalls.Inc()
+	}
+	nic.Use(p, float64(size)*n.par.ByteTime)
 }
 
 // TransferTime returns the uncontended time for a message, for analytic

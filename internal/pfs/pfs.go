@@ -23,6 +23,7 @@ import (
 	"pario/internal/ionode"
 	"pario/internal/network"
 	"pario/internal/sim"
+	"pario/internal/stats"
 )
 
 // Layout is a file's striping description.
@@ -83,16 +84,26 @@ type FS struct {
 	nodeGlobal []int   // topology index of each I/O node
 	nextFree   []int64 // bump allocator per node (byte offset on its drives)
 	files      map[string]*File
+
+	mTransfers *stats.Counter
+	mChunks    *stats.Counter
+	mReqBytes  *stats.Histogram // per-chunk (stripe-unit-bounded) request size
+	mXferTime  *stats.Histogram // per-Transfer wall time in simulated us
 }
 
 // New builds a file system over the I/O partition of the network's
 // topology. One ionode.Node is created per topology I/O node.
 func New(eng *sim.Engine, net *network.Network, nodePar ionode.Params) (*FS, error) {
 	topo := net.Topology()
+	reg := eng.Metrics()
 	fs := &FS{
-		eng:   eng,
-		net:   net,
-		files: make(map[string]*File),
+		eng:        eng,
+		net:        net,
+		files:      make(map[string]*File),
+		mTransfers: reg.Counter("pfs.transfers"),
+		mChunks:    reg.Counter("pfs.chunks"),
+		mReqBytes:  reg.Histogram("pfs.req_bytes", "B"),
+		mXferTime:  reg.Histogram("pfs.xfer_time", "us"),
 	}
 	for i := 0; i < topo.NumIO(); i++ {
 		n, err := ionode.New(eng, fmt.Sprintf("io%d", i), nodePar)
@@ -283,7 +294,15 @@ func (f *File) Transfer(p *sim.Proc, clientNode int, off, size int64, write bool
 	if size == 0 {
 		return
 	}
+	start := p.Now()
+	fs := f.fs
+	fs.mTransfers.Inc()
+	defer func() { fs.mXferTime.Observe((p.Now() - start) * 1e6) }()
 	chunks := f.MapRange(off, size)
+	fs.mChunks.Add(int64(len(chunks)))
+	for _, c := range chunks {
+		fs.mReqBytes.Observe(float64(c.Len))
+	}
 	if write && off+size > f.size {
 		f.size = off + size
 	}

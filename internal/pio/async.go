@@ -36,9 +36,16 @@ func (h *Handle) ReadAsync(off, n int64) *AsyncRead {
 func (h *Handle) engine() *sim.Engine { return h.c.fs.Engine() }
 
 // Await blocks until the read completes, then charges the wait plus the
-// buffer copy and records a Read of n bytes.
+// buffer copy and records a Read of n bytes. A prefetch that finished
+// before Await is a hit (the overlap worked: the caller pays only the
+// copy); one still in flight is a miss (the caller eats the wait).
 func (h *Handle) Await(p *sim.Proc, ar *AsyncRead) {
 	start := p.Now()
+	if ar.done.Fired() {
+		h.c.mPrefHit.Inc()
+	} else {
+		h.c.mPrefMiss.Inc()
+	}
 	p.WaitSignal(ar.done)
 	if ct := float64(ar.n) * h.c.fs.Network().Params().MemCopyByteTime; ct > 0 {
 		p.Delay(ct)

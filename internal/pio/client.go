@@ -25,6 +25,7 @@ import (
 
 	"pario/internal/pfs"
 	"pario/internal/sim"
+	"pario/internal/stats"
 	"pario/internal/trace"
 )
 
@@ -64,6 +65,14 @@ type Client struct {
 	node int // topology node index of the owning process
 	par  ClientParams
 	rec  *trace.Recorder
+
+	// mIndep counts independent (per-process) data calls; collective ops
+	// are counted separately by Collective, so the pair shows how much of
+	// a run's I/O went through each discipline.
+	mIndep *stats.Counter
+	// Prefetch accounting (see Handle.Await).
+	mPrefHit  *stats.Counter
+	mPrefMiss *stats.Counter
 }
 
 // NewClient builds a client for the process on the given topology node,
@@ -75,7 +84,11 @@ func NewClient(fs *pfs.FS, node int, par ClientParams, rec *trace.Recorder) (*Cl
 	if rec == nil {
 		rec = trace.NewRecorder()
 	}
-	return &Client{fs: fs, node: node, par: par, rec: rec}, nil
+	reg := fs.Engine().Metrics()
+	return &Client{fs: fs, node: node, par: par, rec: rec,
+		mIndep:    reg.Counter("pio.independent_ops"),
+		mPrefHit:  reg.Counter("pio.prefetch_hits"),
+		mPrefMiss: reg.Counter("pio.prefetch_misses")}, nil
 }
 
 // Recorder returns the trace recorder.
@@ -144,6 +157,7 @@ func (h *Handle) position(p *sim.Proc, off int64) {
 // striped transfer, and records the read.
 func (h *Handle) ReadAt(p *sim.Proc, off, n int64) {
 	h.position(p, off)
+	h.c.mIndep.Inc()
 	start := p.Now()
 	if h.c.par.ReadCallSec > 0 {
 		p.Delay(h.c.par.ReadCallSec)
@@ -159,6 +173,7 @@ func (h *Handle) Read(p *sim.Proc, n int64) { h.ReadAt(p, h.pos, n) }
 // WriteAt writes n bytes at off.
 func (h *Handle) WriteAt(p *sim.Proc, off, n int64) {
 	h.position(p, off)
+	h.c.mIndep.Inc()
 	start := p.Now()
 	if h.c.par.WriteCallSec > 0 {
 		p.Delay(h.c.par.WriteCallSec)

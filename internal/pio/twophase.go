@@ -6,6 +6,7 @@ import (
 	"pario/internal/mp"
 	"pario/internal/ooc"
 	"pario/internal/sim"
+	"pario/internal/stats"
 )
 
 // Collective implements two-phase collective I/O (Thakur et al., PASSION;
@@ -29,6 +30,8 @@ type Collective struct {
 	// per-operation shared staging (valid between the entry barrier and
 	// the exchange of one operation)
 	runs [][]ooc.Run
+
+	mOps *stats.Counter
 }
 
 // NewCollective builds a collective over the per-rank handles. Handles must
@@ -48,6 +51,7 @@ func NewCollective(comm *mp.Comm, handles []*Handle) (*Collective, error) {
 		handles: handles,
 		align:   f.Layout().StripeUnit,
 		runs:    make([][]ooc.Run, comm.Size()),
+		mOps:    handles[0].engine().Metrics().Counter("pio.collective_ops"),
 	}, nil
 }
 
@@ -118,6 +122,10 @@ func (tc *Collective) Read(p *sim.Proc, rank int, runs []ooc.Run) {
 
 func (tc *Collective) exchangeAndIO(p *sim.Proc, rank int, runs []ooc.Run, write bool) {
 	n := tc.comm.Size()
+	// One collective operation per participating rank; the conforming
+	// phase-2 request additionally appears under pio.independent_ops,
+	// because that is the call the file system actually sees.
+	tc.mOps.Inc()
 	tc.runs[rank] = runs
 	tc.comm.Barrier(p, rank)
 

@@ -15,6 +15,9 @@ package sim
 
 import (
 	"fmt"
+	"time"
+
+	"pario/internal/stats"
 )
 
 // Engine owns the virtual clock and the event queue. The zero value is not
@@ -28,6 +31,9 @@ type Engine struct {
 	running  bool
 	stopped  bool
 	executed uint64 // events fired so far
+
+	metrics *stats.Registry
+	wallSec float64 // real time spent inside Run
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -35,8 +41,21 @@ func NewEngine() *Engine {
 	return &Engine{
 		handoff: make(chan struct{}),
 		live:    make(map[*Proc]struct{}),
+		metrics: stats.NewRegistry(),
 	}
 }
+
+// Metrics returns the engine's metrics registry, the shared substrate
+// every component built on this engine feeds. Components fetch their
+// handles at construction time; the registry stays valid for inspection
+// after Stop.
+func (e *Engine) Metrics() *stats.Registry { return e.metrics }
+
+// WallSec returns the cumulative real time spent inside Run — the "wall
+// vs. sim time" side of the kernel's work accounting. It is the one
+// non-deterministic quantity the engine tracks, which is why it lives
+// outside the registry.
+func (e *Engine) WallSec() float64 { return e.wallSec }
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
@@ -140,7 +159,16 @@ func (e *Engine) Run() error {
 		return fmt.Errorf("sim: Run called re-entrantly")
 	}
 	e.running = true
-	defer func() { e.running = false }()
+	wallStart := time.Now()
+	defer func() {
+		e.running = false
+		e.wallSec += time.Since(wallStart).Seconds()
+		// Mirror the kernel's work accounting into the metrics registry
+		// once per Run — Set keeps repeated Runs idempotent, and the hot
+		// event loop stays untouched.
+		e.metrics.Counter("sim.events").Set(int64(e.executed))
+		e.metrics.Float("sim.time_sec", stats.AggSum).Set(e.now)
+	}()
 	for e.pq.Len() > 0 {
 		ev := e.pq.pop()
 		e.now = ev.at

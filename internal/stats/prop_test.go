@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Property tests for Histogram merging: the golden-run suite and the sweep
+// aggregator both rely on merge being associative and conserving counts
+// and sums, including when shards are filled concurrently (each sweep
+// worker fills its own registry; merging happens afterwards).
+
+// randomHist fills a histogram with n observations from rng.
+func randomHist(rng *rand.Rand, n int) *Histogram {
+	h := &Histogram{unit: "us"}
+	for i := 0; i < n; i++ {
+		// Exercise every scale from sub-unit to huge, including zero.
+		v := rng.Float64() * float64(int64(1)<<uint(rng.Intn(40)))
+		h.Observe(v)
+	}
+	return h
+}
+
+// histEqual compares count and buckets exactly; the float sum is compared
+// to a relative tolerance because float addition is only approximately
+// associative (the deterministic-output guarantee comes from merging in a
+// fixed order, not from exact associativity).
+func histEqual(a, b *Histogram) bool {
+	if a.count != b.count || a.buckets != b.buckets {
+		return false
+	}
+	diff := math.Abs(a.sum - b.sum)
+	scale := math.Max(math.Abs(a.sum), math.Abs(b.sum))
+	return diff <= 1e-9*math.Max(scale, 1)
+}
+
+func TestHistogramMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		a := randomHist(rng, rng.Intn(200))
+		b := randomHist(rng, rng.Intn(200))
+		c := randomHist(rng, rng.Intn(200))
+
+		// (a+b)+c
+		left := &Histogram{unit: "us"}
+		left.Merge(a)
+		left.Merge(b)
+		left.Merge(c)
+		// a+(b+c)
+		bc := &Histogram{unit: "us"}
+		bc.Merge(b)
+		bc.Merge(c)
+		right := &Histogram{unit: "us"}
+		right.Merge(a)
+		right.Merge(bc)
+
+		if !histEqual(left, right) {
+			t.Fatalf("trial %d: merge not associative:\n(a+b)+c count=%d sum=%g\na+(b+c) count=%d sum=%g",
+				trial, left.count, left.sum, right.count, right.sum)
+		}
+	}
+}
+
+func TestHistogramMergeConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		shards := make([]*Histogram, 1+rng.Intn(8))
+		var wantCount int64
+		var wantSum float64
+		var wantBuckets [histBuckets]int64
+		for i := range shards {
+			shards[i] = randomHist(rng, rng.Intn(300))
+			wantCount += shards[i].count
+			wantSum += shards[i].sum
+			for b, c := range shards[i].buckets {
+				wantBuckets[b] += c
+			}
+		}
+		merged := &Histogram{unit: "us"}
+		for _, sh := range shards {
+			merged.Merge(sh)
+		}
+		if merged.count != wantCount {
+			t.Fatalf("trial %d: count %d, want %d", trial, merged.count, wantCount)
+		}
+		if merged.sum != wantSum {
+			t.Fatalf("trial %d: sum %g, want %g", trial, merged.sum, wantSum)
+		}
+		if merged.buckets != wantBuckets {
+			t.Fatalf("trial %d: bucket totals not conserved", trial)
+		}
+	}
+}
+
+// TestHistogramConcurrentShardMerge fills independent shards from
+// concurrent goroutines — the sweep-runner topology, where each worker
+// owns its shard and merging happens after the join — and checks that the
+// merged totals equal the sum of what each worker reports having observed.
+func TestHistogramConcurrentShardMerge(t *testing.T) {
+	const (
+		workers = 8
+		perWork = 10_000
+	)
+	shards := make([]*Histogram, workers)
+	counts := make([]int64, workers)
+	sums := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			h := &Histogram{unit: "B"}
+			for i := 0; i < perWork; i++ {
+				v := float64(rng.Intn(1 << 20))
+				h.Observe(v)
+				counts[w]++
+				sums[w] += v
+			}
+			shards[w] = h
+		}()
+	}
+	wg.Wait()
+
+	merged := &Histogram{unit: "B"}
+	var wantCount int64
+	var wantSum float64
+	for w := 0; w < workers; w++ {
+		merged.Merge(shards[w])
+		wantCount += counts[w]
+		wantSum += sums[w]
+	}
+	if merged.Count() != wantCount {
+		t.Fatalf("count %d, want %d", merged.Count(), wantCount)
+	}
+	// Per-shard sums are integers here, so merge order cannot change the
+	// float result and equality is exact.
+	if merged.Sum() != wantSum {
+		t.Fatalf("sum %g, want %g", merged.Sum(), wantSum)
+	}
+	var bucketTotal int64
+	for _, c := range merged.Buckets() {
+		bucketTotal += c
+	}
+	if bucketTotal != wantCount {
+		t.Fatalf("bucket total %d, want %d", bucketTotal, wantCount)
+	}
+}
+
+// TestSnapshotMergeMatchesHistogramMerge ties the two merge paths
+// together: merging snapshots must agree with merging the histograms they
+// were taken from.
+func TestSnapshotMergeMatchesHistogramMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ra, rb := NewRegistry(), NewRegistry()
+	ha := ra.Histogram("h", "us")
+	hb := rb.Histogram("h", "us")
+	for i := 0; i < 500; i++ {
+		ha.Observe(rng.Float64() * 1e6)
+		hb.Observe(rng.Float64() * 1e3)
+	}
+	snap := ra.Snapshot(0)
+	snap.Merge(rb.Snapshot(0))
+
+	direct := &Histogram{unit: "us"}
+	direct.Merge(ha)
+	direct.Merge(hb)
+	if snap.Hists[0].Count != direct.Count() || snap.Hists[0].Sum != direct.Sum() {
+		t.Fatalf("snapshot merge (count=%d sum=%g) disagrees with histogram merge (count=%d sum=%g)",
+			snap.Hists[0].Count, snap.Hists[0].Sum, direct.Count(), direct.Sum())
+	}
+	for i, c := range direct.Buckets() {
+		if snap.Hists[0].Buckets[i] != c {
+			t.Fatalf("bucket %d: snapshot %d, direct %d", i, snap.Hists[0].Buckets[i], c)
+		}
+	}
+}
