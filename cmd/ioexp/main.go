@@ -8,6 +8,7 @@
 //	ioexp -exp all -j 8          # sweep points on 8 workers
 //	ioexp -exp fig1 -metrics     # append the cross-layer metrics table
 //	ioexp -exp fig1 -metrics-json  # machine-readable metrics snapshot
+//	ioexp -exp fig1 -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Artifact ids: table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 table4
 // table5 (plus any registered ablations; -list shows all).
@@ -24,6 +25,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"pario/internal/exp"
@@ -44,9 +46,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jobs    = fs.Int("j", runtime.NumCPU(), "concurrent sweep points per experiment")
 		metrics = fs.Bool("metrics", false, "print each artifact's cross-layer metrics table")
 		metJSON = fs.Bool("metrics-json", false, "print each artifact's metrics snapshot as JSON")
+		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to `file`")
+		memProf = fs.String("memprofile", "", "write a heap profile to `file` on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(stderr, "ioexp: cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "ioexp: cpuprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintf(stderr, "ioexp: memprofile: %v\n", err)
+			return 2
+		}
+		defer func() {
+			runtime.GC() // materialize the final live-heap numbers
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "ioexp: memprofile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	if *list {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -51,5 +53,43 @@ func TestRunBadArgs(t *testing.T) {
 	}
 	if code := run([]string{"-scale", "huge"}, &out, &errb); code != 2 {
 		t.Fatalf("unknown scale: exit %d, want 2", code)
+	}
+}
+
+func TestRunWithProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-exp", "table2", "-scale", "quick",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for _, f := range []string{cpu, mem} {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", f)
+		}
+	}
+}
+
+func TestRunBadProfilePath(t *testing.T) {
+	var out, errb bytes.Buffer
+	bad := filepath.Join(t.TempDir(), "no-such-dir", "cpu.pprof")
+	if code := run([]string{"-cpuprofile", bad, "-exp", "table2", "-scale", "quick"}, &out, &errb); code != 2 {
+		t.Fatalf("bad cpuprofile path: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "cpuprofile") {
+		t.Errorf("stderr missing cpuprofile error:\n%s", errb.String())
+	}
+	bad = filepath.Join(t.TempDir(), "no-such-dir", "mem.pprof")
+	if code := run([]string{"-memprofile", bad, "-exp", "table2", "-scale", "quick"}, &out, &errb); code != 2 {
+		t.Fatalf("bad memprofile path: exit %d, want 2", code)
 	}
 }

@@ -7,14 +7,24 @@
 // given program and seed. Events scheduled for the same instant fire in
 // scheduling order.
 //
-// The kernel is intentionally small: an event heap, cooperative processes
+// The kernel is intentionally small: an event queue, cooperative processes
 // with Delay/Spawn/Join, FIFO resources with capacity (servers/queues),
 // condition signals, and wait groups. Everything else in this repository —
 // networks, disks, parallel file systems, applications — is built on it.
+//
+// Internally the event queue is split into a same-instant FIFO ring (all
+// zero-delay work: wakeups, After(0, …), Yield) and a 4-ary time heap
+// (everything that moves the clock), merged in exact (at, seq) order. The
+// event loop itself is baton-passed: whichever goroutine holds control pops
+// and fires the next event directly, so waking yourself after a Delay costs
+// no context switch at all and waking another process costs one handoff
+// instead of two. See DESIGN.md, "Kernel performance".
 package sim
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"pario/internal/stats"
@@ -25,12 +35,26 @@ import (
 type Engine struct {
 	now      float64
 	seq      uint64
-	pq       eventHeap
-	handoff  chan struct{} // a process signals here when it blocks or ends
-	live     map[*Proc]struct{}
+	pq       eventHeap // events strictly in the future
+	ring     eventRing // events at the current instant, FIFO
 	running  bool
 	stopped  bool
 	executed uint64 // events fired so far
+
+	// Baton-passing state. handoff is where the goroutine that drains the
+	// queue (or traps a fatal panic) returns control; it is received on by
+	// Run, except while killAll temporarily redirects returns through
+	// drainTo to reap victims one by one. current is the process whose
+	// goroutine holds the baton (nil when Run or a finished worker does).
+	handoff chan struct{}
+	drainTo chan struct{}
+	current *Proc
+	reaping bool // killAll in progress: dying workers return the baton directly
+	fatal   any  // panic value carried from a worker goroutine to Run
+
+	live    map[*Proc]struct{}
+	procSeq uint64    // spawn-order ids, for deterministic teardown
+	workers []*worker // parked resume machinery reusable by the next Spawn
 
 	metrics *stats.Registry
 	wallSec float64 // real time spent inside Run
@@ -38,11 +62,13 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{
+	e := &Engine{
 		handoff: make(chan struct{}),
 		live:    make(map[*Proc]struct{}),
 		metrics: stats.NewRegistry(),
 	}
+	e.drainTo = e.handoff
+	return e
 }
 
 // Metrics returns the engine's metrics registry, the shared substrate
@@ -64,6 +90,22 @@ func (e *Engine) Now() float64 { return e.now }
 // metric for performance reporting.
 func (e *Engine) Events() uint64 { return e.executed }
 
+// schedule inserts an occurrence at absolute time t: a wakeup of p when
+// p != nil, otherwise the callback fn. Same-instant events take the FIFO
+// ring; future events take the heap. The split preserves the global
+// (at, seq) firing order because ring entries all carry at == now and
+// monotonically increasing seq, and the clock cannot advance while the ring
+// is non-empty.
+func (e *Engine) schedule(t float64, fn func(), p *Proc) {
+	e.seq++
+	ev := event{at: t, seq: e.seq, fn: fn, proc: p}
+	if t == e.now {
+		e.ring.push(ev)
+	} else {
+		e.pq.push(ev)
+	}
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it would corrupt the clock. Scheduling on a stopped engine panics
 // too: after Stop the engine can be inspected but not reused.
@@ -74,8 +116,7 @@ func (e *Engine) At(t float64, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %g before now %g", t, e.now))
 	}
-	e.seq++
-	e.pq.push(event{at: t, seq: e.seq, fn: fn})
+	e.schedule(t, fn, nil)
 }
 
 // After schedules fn to run d seconds from now.
@@ -83,42 +124,38 @@ func (e *Engine) After(d float64, fn func()) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %g", d))
 	}
-	e.At(e.now+d, fn)
+	if e.stopped {
+		panic("sim: After on stopped engine")
+	}
+	e.schedule(e.now+d, fn, nil)
 }
 
 // Spawn creates a process executing body and schedules it to start at the
 // current virtual time. The returned Proc is also passed to body. Spawning
 // on a stopped engine panics: after Stop the engine cannot be reused.
+//
+// The goroutine and resume channel backing the process are pooled: a Spawn
+// following a process exit reuses the parked machinery instead of paying
+// for a new goroutine, channel, and activation closure.
 func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 	if e.stopped {
 		panic("sim: Spawn on stopped engine")
 	}
-	p := &Proc{
-		eng:    e,
-		name:   name,
-		resume: make(chan struct{}),
+	e.procSeq++
+	p := &Proc{eng: e, id: e.procSeq, name: name, body: body}
+	var w *worker
+	if n := len(e.workers); n > 0 {
+		w = e.workers[n-1]
+		e.workers[n-1] = nil
+		e.workers = e.workers[:n-1]
+	} else {
+		w = &worker{resume: make(chan struct{})}
+		go e.workerLoop(w)
 	}
+	w.p = p
+	p.w = w
 	e.live[p] = struct{}{}
-	go func() {
-		<-p.resume // wait for activation by the engine
-		defer func() {
-			delete(e.live, p)
-			p.done = true
-			if p.exit != nil {
-				p.exit.Fire()
-			}
-			if r := recover(); r != nil && r != errKilled {
-				// Re-panicking here would crash an engine goroutine handoff;
-				// record and surface from Run instead.
-				p.panicked = r
-			}
-			e.handoff <- struct{}{}
-		}()
-		if !p.killed {
-			body(p)
-		}
-	}()
-	e.After(0, func() { e.wake(p) })
+	e.schedule(e.now, nil, p) // activation
 	return p
 }
 
@@ -130,20 +167,76 @@ func (e *Engine) scheduleWake(p *Proc) {
 	if e.stopped {
 		return
 	}
-	e.After(0, func() { e.wake(p) })
+	e.schedule(e.now, nil, p)
 }
 
-// wake transfers control to p and blocks the engine until p blocks again or
-// finishes.
-func (e *Engine) wake(p *Proc) {
-	if p.done {
-		return
+// next removes and returns the earliest event across the ring and the heap,
+// merging the two lanes in exact (at, seq) order. The heap can hold events
+// at the current instant that were scheduled from an earlier one, and those
+// always carry smaller seqs than anything in the ring, so comparing lane
+// heads is enough.
+func (e *Engine) next() (event, bool) {
+	if e.ring.size > 0 {
+		if e.pq.Len() > 0 && e.pq.ev[0].before(e.ring.peek()) {
+			return e.pq.pop(), true
+		}
+		return e.ring.pop(), true
 	}
-	p.resume <- struct{}{}
-	<-e.handoff
-	if p.panicked != nil {
-		panic(p.panicked)
+	if e.pq.Len() > 0 {
+		return e.pq.pop(), true
 	}
+	return event{}, false
+}
+
+// Outcomes of one dispatch stretch: who holds the baton next.
+type dispatchOutcome int8
+
+const (
+	dispatchDrained dispatchOutcome = iota // queue empty; caller keeps the baton
+	dispatchHandoff                        // baton sent to another process
+	dispatchSelf                           // next event was the caller's own wake
+	dispatchFatal                          // a callback panicked; e.fatal is set
+)
+
+// dispatch fires events until the queue drains or the baton must move to a
+// process goroutine. self is the blocked process running the loop and w its
+// worker (both nil when Run runs it; self nil but w set when a finished
+// worker runs it): popping a wake owned by the dispatching goroutine —
+// self's own wake, or the activation of a fresh process assigned to the
+// pooled worker w — returns dispatchSelf without touching a channel, which
+// is what makes an uncontended Delay allocation- and switch-free.
+func (e *Engine) dispatch(self *Proc, w *worker) dispatchOutcome {
+	for {
+		ev, ok := e.next()
+		if !ok {
+			return dispatchDrained
+		}
+		e.now = ev.at
+		e.executed++
+		if p := ev.proc; p != nil {
+			if p.done {
+				continue // stale wake for an exited process
+			}
+			e.current = p
+			if p == self || p.w == w {
+				return dispatchSelf
+			}
+			p.w.resume <- struct{}{}
+			return dispatchHandoff
+		}
+		if pan := fire(ev.fn); pan != nil {
+			e.fatal = pan
+			return dispatchFatal
+		}
+	}
+}
+
+// fire runs one callback, trapping a panic so it can be re-raised from Run
+// no matter which goroutine was dispatching when it happened.
+func fire(fn func()) (pan any) {
+	defer func() { pan = recover() }()
+	fn()
+	return nil
 }
 
 // Run executes events until the queue drains. It returns an error if, at
@@ -151,6 +244,9 @@ func (e *Engine) wake(p *Proc) {
 // or resource that can no longer be provided). Blocked processes are killed
 // so their goroutines are reclaimed. Running a stopped engine is an error:
 // after Stop the engine can be inspected but not reused.
+//
+// A panic in a process body or event callback propagates out of Run
+// regardless of which goroutine was executing it.
 func (e *Engine) Run() error {
 	if e.stopped {
 		return fmt.Errorf("sim: Run on stopped engine")
@@ -163,45 +259,119 @@ func (e *Engine) Run() error {
 	defer func() {
 		e.running = false
 		e.wallSec += time.Since(wallStart).Seconds()
+		// Pooled workers must not outlive the Run that parked them, or an
+		// engine dropped without Stop would leak goroutines.
+		e.closePool()
 		// Mirror the kernel's work accounting into the metrics registry
 		// once per Run — Set keeps repeated Runs idempotent, and the hot
 		// event loop stays untouched.
 		e.metrics.Counter("sim.events").Set(int64(e.executed))
 		e.metrics.Float("sim.time_sec", stats.AggSum).Set(e.now)
 	}()
-	for e.pq.Len() > 0 {
-		ev := e.pq.pop()
-		e.now = ev.at
-		e.executed++
-		ev.fn()
-	}
-	if n := len(e.live); n > 0 {
-		names := make([]string, 0, n)
-		for p := range e.live {
-			names = append(names, p.name)
+	switch e.dispatch(nil, nil) {
+	case dispatchHandoff:
+		<-e.handoff // baton returns when the queue drains or a panic traps
+		if e.fatal != nil {
+			f := e.fatal
+			e.fatal = nil
+			panic(f)
 		}
+	case dispatchFatal:
+		f := e.fatal
+		e.fatal = nil
+		panic(f)
+	case dispatchDrained:
+	}
+	if len(e.live) > 0 {
+		procs := e.liveInSpawnOrder(e.current)
+		names := make([]string, len(procs))
+		for i, p := range procs {
+			names[i] = p.name
+		}
+		n := len(procs)
 		e.killAll()
-		return fmt.Errorf("sim: deadlock, %d process(es) still blocked: %v", n, names)
+		return fmt.Errorf("sim: deadlock, %d process(es) still blocked: [%s]",
+			n, strings.Join(names, " "))
 	}
 	return nil
 }
 
-// killAll terminates every live process by waking it with the killed flag
-// set; the process panics with errKilled, which the spawn wrapper absorbs.
-func (e *Engine) killAll() {
-	for len(e.live) > 0 {
-		for p := range e.live {
-			p.killed = true
-			e.wake(p)
-			break // map mutated by the wake; restart iteration
+// liveInSpawnOrder snapshots the live processes sorted by spawn order,
+// excluding the baton holder (which cannot be reaped by itself).
+func (e *Engine) liveInSpawnOrder(exclude *Proc) []*Proc {
+	procs := make([]*Proc, 0, len(e.live))
+	for p := range e.live {
+		if p != exclude {
+			procs = append(procs, p)
 		}
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i].id < procs[j].id })
+	return procs
+}
+
+// killAll terminates every live process by waking it with the killed flag
+// set; the process panics with errKilled, which the worker loop absorbs.
+// Victims are snapshotted once and reaped in spawn order — linear work and
+// a stable order, where re-scanning the live map per kill would be O(n²)
+// and order-random. The outer loop only repeats if a victim's unwind (a
+// user defer) spawned new processes.
+func (e *Engine) killAll() {
+	caller := e.current
+	prev := e.drainTo
+	e.reaping = true
+	defer func() { e.reaping = false }()
+	for {
+		victims := e.liveInSpawnOrder(caller)
+		if len(victims) == 0 {
+			break
+		}
+		ret := make(chan struct{})
+		e.drainTo = ret
+		for _, p := range victims {
+			if p.done {
+				continue
+			}
+			p.killed = true
+			e.current = p
+			p.w.resume <- struct{}{}
+			<-ret // victim unwound and handed the baton back
+			if e.fatal != nil {
+				f := e.fatal
+				e.fatal = nil
+				e.drainTo = prev
+				e.current = caller
+				panic(f)
+			}
+		}
+	}
+	e.drainTo = prev
+	e.current = caller
+	// If the baton holder killed the engine from inside a callback, it is
+	// marked for unwinding too and reaps itself when control returns to it
+	// (see Proc.block).
+	if caller != nil {
+		caller.killed = true
 	}
 }
 
+// closePool shuts down parked worker goroutines.
+func (e *Engine) closePool() {
+	for _, w := range e.workers {
+		close(w.resume)
+	}
+	e.workers = nil
+}
+
 // Stop kills all live processes and drops pending events. After Stop the
-// engine can be inspected but not reused.
+// engine can be inspected but not reused. Stop may be called from an event
+// callback or from outside Run.
 func (e *Engine) Stop() {
+	if e.stopped {
+		return
+	}
 	e.stopped = true
 	e.pq = eventHeap{}
+	e.ring = eventRing{}
 	e.killAll()
+	e.closePool()
 }

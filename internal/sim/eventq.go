@@ -1,16 +1,38 @@
 package sim
 
-// event is a scheduled callback. Events with equal timestamps fire in
+// event is a scheduled occurrence. Events with equal timestamps fire in
 // scheduling order (seq), which keeps the simulation deterministic.
+//
+// It is a tagged union: proc != nil means "wake this process" (the dominant
+// event class — Delay expiries, Spawn activations, resource handoffs, signal
+// releases), otherwise fn is an arbitrary callback. Carrying the process
+// pointer directly means the wake paths push a 32-byte record instead of
+// allocating a fresh closure per wake, which a large run does millions of
+// times.
 type event struct {
-	at  float64
-	seq uint64
-	fn  func()
+	at   float64
+	seq  uint64
+	fn   func()
+	proc *Proc
 }
 
-// eventHeap is a binary min-heap of events ordered by (at, seq). It is
-// hand-rolled rather than using container/heap to avoid the interface
-// boxing overhead on the hot path: a large run pushes millions of events.
+// before reports whether a fires before b in the global (at, seq) order.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// eventHeap is a 4-ary min-heap of events ordered by (at, seq). It is
+// hand-rolled rather than using container/heap to avoid interface boxing on
+// the hot path, and 4-ary rather than binary because the shallower tree
+// halves the levels touched per operation and keeps sibling comparisons
+// inside one or two cache lines (4 events × 32 bytes).
+//
+// Zero-delay events never reach the heap — they take the engine's
+// same-instant ring (eventRing below) — so the heap only pays its O(log n)
+// for events that genuinely move the clock.
 type eventHeap struct {
 	ev []event
 }
@@ -18,11 +40,7 @@ type eventHeap struct {
 func (h *eventHeap) Len() int { return len(h.ev) }
 
 func (h *eventHeap) less(i, j int) bool {
-	a, b := &h.ev[i], &h.ev[j]
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
+	return h.ev[i].before(&h.ev[j])
 }
 
 // push inserts e and restores the heap invariant.
@@ -30,7 +48,7 @@ func (h *eventHeap) push(e event) {
 	h.ev = append(h.ev, e)
 	i := len(h.ev) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / 4
 		if !h.less(i, parent) {
 			break
 		}
@@ -45,7 +63,7 @@ func (h *eventHeap) pop() event {
 	top := h.ev[0]
 	last := len(h.ev) - 1
 	h.ev[0] = h.ev[last]
-	h.ev[last] = event{} // release fn for GC
+	h.ev[last] = event{} // release fn/proc for GC
 	h.ev = h.ev[:last]
 	h.siftDown(0)
 	return top
@@ -54,13 +72,19 @@ func (h *eventHeap) pop() event {
 func (h *eventHeap) siftDown(i int) {
 	n := len(h.ev)
 	for {
-		left := 2*i + 1
-		if left >= n {
+		first := 4*i + 1
+		if first >= n {
 			return
 		}
-		least := left
-		if right := left + 1; right < n && h.less(right, left) {
-			least = right
+		least := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if h.less(c, least) {
+				least = c
+			}
 		}
 		if !h.less(least, i) {
 			return
@@ -68,4 +92,55 @@ func (h *eventHeap) siftDown(i int) {
 		h.ev[i], h.ev[least] = h.ev[least], h.ev[i]
 		i = least
 	}
+}
+
+// eventRing is a growable circular FIFO holding the engine's same-instant
+// lane: every event scheduled for the current virtual time. Those events
+// already arrive in (at, seq) order — at equals now for all of them and seq
+// is assigned monotonically — so a ring preserves the exact firing order the
+// heap would produce while making the most common scheduling operation
+// (zero-delay wakeups, After(0, …), Yield) O(1) instead of O(log n).
+//
+// The capacity is always a power of two so the index math is a mask.
+type eventRing struct {
+	buf  []event
+	head int
+	size int
+}
+
+func (r *eventRing) push(e event) {
+	if r.size == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.size)&(len(r.buf)-1)] = e
+	r.size++
+}
+
+// pop removes and returns the oldest event. It must not be called on an
+// empty ring.
+func (r *eventRing) pop() event {
+	e := r.buf[r.head]
+	r.buf[r.head] = event{} // release fn/proc for GC
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.size--
+	return e
+}
+
+// peek returns the oldest event without removing it. It must not be called
+// on an empty ring.
+func (r *eventRing) peek() *event {
+	return &r.buf[r.head]
+}
+
+func (r *eventRing) grow() {
+	n := len(r.buf) * 2
+	if n == 0 {
+		n = 64
+	}
+	buf := make([]event, n)
+	for i := 0; i < r.size; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf = buf
+	r.head = 0
 }

@@ -6,13 +6,24 @@ import "errors"
 // escapes the kernel.
 var errKilled = errors.New("sim: process killed")
 
+// worker is the resume machinery behind a process: a parked goroutine and
+// the channel that hands it the baton. Workers are pooled on the engine so
+// process churn (Spawn → run → exit → Spawn …) reuses the goroutine and
+// channel instead of allocating fresh ones per process.
+type worker struct {
+	resume chan struct{}
+	p      *Proc // process currently assigned to this worker
+}
+
 // Proc is a simulation process: a goroutine that runs in lockstep with the
 // engine. All methods must be called from the process's own goroutine,
 // except Name and Done.
 type Proc struct {
 	eng      *Engine
+	w        *worker
+	id       uint64 // spawn order, for deterministic teardown
 	name     string
-	resume   chan struct{}
+	body     func(*Proc)
 	done     bool
 	killed   bool
 	panicked any
@@ -31,11 +42,102 @@ func (p *Proc) Engine() *Engine { return p.eng }
 // Now returns the current virtual time.
 func (p *Proc) Now() float64 { return p.eng.now }
 
-// block yields control to the engine until another event wakes this
-// process. If the process was killed while blocked it unwinds.
+// workerLoop runs on the worker's goroutine: execute the assigned process,
+// retire it, keep dispatching events, then park for reuse by a later Spawn.
+func (e *Engine) workerLoop(w *worker) {
+	for {
+		if _, ok := <-w.resume; !ok {
+			return // pool shut down
+		}
+		for {
+			p := w.p
+			runBody(p)
+
+			// Retirement runs with the baton held, so mutating engine
+			// state here is safe. Order matters: the process must be fully
+			// done before its exit signal fires.
+			delete(e.live, p)
+			p.done = true
+			p.body = nil
+			if p.exit != nil {
+				p.exit.Fire()
+			}
+			e.current = nil
+			if p.panicked != nil {
+				// Carry the panic to Run rather than crashing this
+				// goroutine.
+				e.fatal = p.panicked
+				e.drainTo <- struct{}{}
+				return
+			}
+			stopped := e.stopped
+			if !stopped {
+				w.p = nil
+				e.workers = append(e.workers, w)
+			}
+			var out dispatchOutcome
+			if e.reaping {
+				// During teardown the reaper expects the baton straight
+				// back; events scheduled by dying processes stay queued,
+				// unfired.
+				out = dispatchDrained
+			} else {
+				out = e.dispatch(nil, w)
+			}
+			if out == dispatchDrained || out == dispatchFatal {
+				e.drainTo <- struct{}{}
+			}
+			if stopped {
+				return
+			}
+			if out != dispatchSelf {
+				break // park for reuse (or pool shutdown)
+			}
+			// dispatchSelf: a callback we dispatched spawned a new process
+			// onto this pooled worker; run it directly. Spawn already took
+			// the worker back out of the pool and set w.p.
+		}
+	}
+}
+
+// runBody executes the process body, absorbing the kill unwind and trapping
+// any other panic for Run to re-raise.
+func runBody(p *Proc) {
+	defer func() {
+		if r := recover(); r != nil && r != errKilled {
+			p.panicked = r
+		}
+	}()
+	if !p.killed {
+		p.body(p)
+	}
+}
+
+// block yields control until another event wakes this process. The blocking
+// goroutine itself runs the event loop (baton passing): if the very next
+// event is this process's own wake it simply keeps going — no context
+// switch — and otherwise it hands the baton to the next runnable goroutine
+// and parks. If the process was killed while blocked it unwinds.
 func (p *Proc) block() {
-	p.eng.handoff <- struct{}{}
-	<-p.resume
+	if p.killed {
+		panic(errKilled) // killed mid-unwind; do not dispatch again
+	}
+	e := p.eng
+	switch e.dispatch(p, p.w) {
+	case dispatchSelf:
+		// Our own wake was the next event: continue without parking.
+	case dispatchHandoff:
+		<-p.w.resume
+	case dispatchDrained, dispatchFatal:
+		if p.killed {
+			// A callback we just dispatched (e.g. Stop) killed this
+			// process: unwind now; retirement hands the baton home.
+			panic(errKilled)
+		}
+		e.current = nil
+		e.drainTo <- struct{}{}
+		<-p.w.resume
+	}
 	if p.killed {
 		panic(errKilled)
 	}
@@ -44,11 +146,13 @@ func (p *Proc) block() {
 // Delay advances this process d seconds of virtual time. Other processes
 // and events run in the meantime. A zero delay still round-trips through
 // the event queue, so same-instant events scheduled earlier run first.
+// Steady-state Delay is allocation-free: the wakeup is a proc-wake record
+// in the event queue, not a closure.
 func (p *Proc) Delay(d float64) {
 	if d < 0 {
 		panic("sim: negative Delay")
 	}
-	p.eng.After(d, func() { p.eng.wake(p) })
+	p.eng.schedule(p.eng.now+d, nil, p)
 	p.block()
 }
 
@@ -57,12 +161,15 @@ func (p *Proc) Delay(d float64) {
 func (p *Proc) Yield() { p.Delay(0) }
 
 // ExitSignal returns a signal that fires when the process finishes. It may
-// be requested before or after the process ends.
+// be requested before or after the process ends. The already-finished case
+// goes through Fire rather than setting the fired flag directly, so any
+// waiter that reached the signal through another path is notified instead
+// of silently stranded.
 func (p *Proc) ExitSignal() *Signal {
 	if p.exit == nil {
 		p.exit = NewSignal(p.eng)
 		if p.done {
-			p.exit.fired = true
+			p.exit.Fire()
 		}
 	}
 	return p.exit

@@ -13,7 +13,10 @@ type Resource struct {
 	name  string
 	cap   int
 	inUse int
+	// FIFO of blocked processes, head-indexed so dequeue is O(1) with no
+	// element shifting; the backing array is reclaimed when it empties.
 	queue []*Proc
+	qhead int
 
 	// statistics
 	busyUnitSec float64 // integral of inUse over time
@@ -41,7 +44,7 @@ func (r *Resource) Cap() int { return r.cap }
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of processes waiting.
-func (r *Resource) QueueLen() int { return len(r.queue) }
+func (r *Resource) QueueLen() int { return len(r.queue) - r.qhead }
 
 func (r *Resource) account() {
 	now := r.eng.now
@@ -60,8 +63,8 @@ func (r *Resource) Acquire(p *Proc) {
 	}
 	start := p.Now()
 	r.queue = append(r.queue, p)
-	if len(r.queue) > r.maxQueue {
-		r.maxQueue = len(r.queue)
+	if n := r.QueueLen(); n > r.maxQueue {
+		r.maxQueue = n
 	}
 	p.block()
 	r.waitSec += p.Now() - start
@@ -71,10 +74,24 @@ func (r *Resource) Acquire(p *Proc) {
 // transfers directly to the head of the queue, which is woken at the
 // current time.
 func (r *Resource) Release() {
-	if len(r.queue) > 0 {
-		head := r.queue[0]
-		copy(r.queue, r.queue[1:])
-		r.queue = r.queue[:len(r.queue)-1]
+	if r.qhead < len(r.queue) {
+		head := r.queue[r.qhead]
+		r.queue[r.qhead] = nil
+		r.qhead++
+		if r.qhead == len(r.queue) {
+			// Empty: reset so the backing array is reused from the start.
+			r.queue = r.queue[:0]
+			r.qhead = 0
+		} else if r.qhead >= 32 && r.qhead*2 >= len(r.queue) {
+			// Mostly dead prefix under sustained contention: compact in
+			// place (amortized O(1)) instead of growing without bound.
+			n := copy(r.queue, r.queue[r.qhead:])
+			for i := n; i < len(r.queue); i++ {
+				r.queue[i] = nil
+			}
+			r.queue = r.queue[:n]
+			r.qhead = 0
+		}
 		// Ownership transfers: inUse is unchanged.
 		r.eng.scheduleWake(head)
 		return

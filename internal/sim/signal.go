@@ -15,14 +15,16 @@ func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
 func (s *Signal) Fired() bool { return s.fired }
 
 // Fire releases all waiters at the current virtual time. Waiters resume in
-// the order they began waiting.
+// the order they began waiting. The wakeups are proc-wake records pushed on
+// the engine's same-instant lane, so firing allocates nothing beyond queue
+// growth.
 func (s *Signal) Fire() {
 	if s.fired {
 		return
 	}
 	s.fired = true
 	waiters := s.waiters
-	s.waiters = nil
+	s.waiters = nil // one-shot: drop the backing array for GC
 	for _, p := range waiters {
 		s.eng.scheduleWake(p)
 	}

@@ -22,7 +22,10 @@ func (w *WaitGroup) Add(n int) {
 	}
 	if w.count == 0 {
 		waiters := w.waiters
-		w.waiters = nil
+		// Keep the backing array: wait groups are reused across phases, and
+		// the wakeups below only queue proc-wake records — no waiter can
+		// re-enter Wait (and so append here) until this loop has finished.
+		w.waiters = w.waiters[:0]
 		for _, p := range waiters {
 			w.eng.scheduleWake(p)
 		}

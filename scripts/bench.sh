@@ -1,0 +1,67 @@
+#!/bin/sh
+# bench.sh — run the repo's benchmark suites and emit a JSON summary.
+#
+# Usage:
+#   scripts/bench.sh                      # print JSON to stdout
+#   scripts/bench.sh -o out.json          # write JSON to a file
+#   scripts/bench.sh -baseline old.json   # wrap as {before: old, after: new}
+#
+# Runs the root artifact benchmarks (BenchmarkFig1, BenchmarkTable2, ...)
+# and the internal/sim kernel microbenchmarks with -short -benchmem so the
+# whole suite finishes in seconds. BENCHTIME overrides -benchtime (default
+# 1x — one iteration per benchmark, a smoke run; use e.g. BENCHTIME=2x or
+# a duration like 200ms for numbers stable enough to compare).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=""
+baseline=""
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -o)        out="$2"; shift 2 ;;
+    -baseline) baseline="$2"; shift 2 ;;
+    *) echo "usage: $0 [-o out.json] [-baseline before.json]" >&2; exit 2 ;;
+    esac
+done
+
+benchtime="${BENCHTIME:-1x}"
+commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run='^$' -bench=. -short -benchtime="$benchtime" -benchmem . ./internal/sim/ | tee "$raw" >&2
+
+# Turn `BenchmarkName-N  iters  X ns/op  Y B/op  Z allocs/op` lines into JSON.
+json="$(awk -v commit="$commit" -v benchtime="$benchtime" '
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+    ns = ""; bop = ""; aop = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns  = $i
+        if ($(i+1) == "B/op")      bop = $i
+        if ($(i+1) == "allocs/op") aop = $i
+    }
+    if (ns == "") next
+    if (n++) body = body ","
+    body = body sprintf("\n    \"%s\": {\"ns_op\": %s", name, ns)
+    if (bop != "") body = body sprintf(", \"b_op\": %s", bop)
+    if (aop != "") body = body sprintf(", \"allocs_op\": %s", aop)
+    body = body "}"
+}
+END {
+    printf "{\n  \"commit\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": {%s\n  }\n}\n",
+        commit, benchtime, body
+}' "$raw")"
+
+if [ -n "$baseline" ]; then
+    json="$(printf '{\n"before":\n%s,\n"after":\n%s\n}\n' "$(cat "$baseline")" "$json")"
+fi
+
+if [ -n "$out" ]; then
+    printf '%s\n' "$json" >"$out"
+    echo "wrote $out" >&2
+else
+    printf '%s\n' "$json"
+fi
