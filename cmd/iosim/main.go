@@ -9,39 +9,50 @@
 //	iosim -app scf30 -procs 32 -cached 90
 //	iosim -app btio -procs 16 -class A -opt
 //	iosim -app ast -procs 32 -ionodes 64 -opt
+//	iosim -app fft -procs 8 -json        # the pariod wire encoding
+//
+// -json emits the exact request/report encoding the pariod service serves
+// (one shared codec in internal/serve), so CLI and server outputs are
+// byte-identical for the same configuration.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"pario/internal/apps/ast"
-	"pario/internal/apps/btio"
-	"pario/internal/apps/fft"
-	"pario/internal/apps/scf"
 	"pario/internal/core"
-	"pario/internal/machine"
+	"pario/internal/serve"
 )
 
 func main() {
 	var (
-		app     = flag.String("app", "", "scf11 | scf30 | fft | btio | ast")
-		procs   = flag.Int("procs", 4, "compute processes")
-		ionodes = flag.Int("ionodes", 0, "I/O nodes (0 = app's paper default)")
-		opt     = flag.Bool("opt", false, "apply the application's optimization")
-		input   = flag.String("input", "MEDIUM", "scf input: SMALL | MEDIUM | LARGE")
-		version = flag.String("version", "original", "scf11 version: original | passion | prefetch")
-		cached  = flag.Int("cached", 90, "scf30: % of integrals cached on disk")
-		class   = flag.String("class", "A", "btio class: A | B")
+		app      = flag.String("app", "", "scf11 | scf30 | fft | btio | ast")
+		procs    = flag.Int("procs", 4, "compute processes")
+		ionodes  = flag.Int("ionodes", 0, "I/O nodes (0 = app's paper default)")
+		opt      = flag.Bool("opt", false, "apply the application's optimization")
+		input    = flag.String("input", "MEDIUM", "scf input: SMALL | MEDIUM | LARGE")
+		version  = flag.String("version", "original", "scf11 version: original | passion | prefetch")
+		cached   = flag.Int("cached", 90, "scf30: % of integrals cached on disk (0 selects the default)")
+		class    = flag.String("class", "A", "btio class: A | B")
+		jsonFlag = flag.Bool("json", false, "emit the pariod service's JSON encoding instead of the text report")
 	)
 	flag.Parse()
 
-	rep, err := run(*app, *procs, *ionodes, *opt, *input, *version, *cached, *class)
+	req, rep, err := run(*app, *procs, *ionodes, *opt, *input, *version, *cached, *class)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iosim: %v\n", err)
 		os.Exit(1)
+	}
+	if *jsonFlag {
+		body, err := serve.Encode(req, rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iosim: %v\n", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(body)
+		return
 	}
 	fmt.Printf("machine:     %s\n", rep.Machine)
 	fmt.Printf("processes:   %d (on %d I/O nodes)\n", rep.Procs, rep.IONodes)
@@ -53,81 +64,26 @@ func main() {
 	fmt.Println(rep.Trace.Table(rep.ExecSec * float64(rep.Procs)))
 }
 
-func run(app string, procs, ionodes int, opt bool, input, version string, cached int, class string) (core.Report, error) {
-	scfIn := map[string]scf.Input{"SMALL": scf.Small, "MEDIUM": scf.Medium, "LARGE": scf.Large}
-	switch strings.ToLower(app) {
-	case "scf11":
-		nio := ionodes
-		if nio == 0 {
-			nio = 12
-		}
-		m, err := machine.ParagonLarge(nio)
-		if err != nil {
-			return core.Report{}, err
-		}
-		in, ok := scfIn[strings.ToUpper(input)]
-		if !ok {
-			return core.Report{}, fmt.Errorf("unknown input %q", input)
-		}
-		v := scf.Original
-		switch strings.ToLower(version) {
-		case "original":
-		case "passion":
-			v = scf.Passion
-		case "prefetch":
-			v = scf.PassionPrefetch
-		default:
-			return core.Report{}, fmt.Errorf("unknown version %q", version)
-		}
-		if opt {
-			v = scf.PassionPrefetch
-		}
-		return scf.Run11(scf.Config11{Machine: m, Input: in, Procs: procs, Version: v})
-	case "scf30":
-		nio := ionodes
-		if nio == 0 {
-			nio = 16
-		}
-		m, err := machine.ParagonLarge(nio)
-		if err != nil {
-			return core.Report{}, err
-		}
-		in, ok := scfIn[strings.ToUpper(input)]
-		if !ok {
-			return core.Report{}, fmt.Errorf("unknown input %q", input)
-		}
-		return scf.Run30(scf.Config30{Machine: m, Input: in, Procs: procs, CachedPct: cached, Balance: true})
-	case "fft":
-		nio := ionodes
-		if nio == 0 {
-			nio = 2
-		}
-		m, err := machine.ParagonSmall(nio)
-		if err != nil {
-			return core.Report{}, err
-		}
-		return fft.Run(fft.Config{Machine: m, Procs: procs, OptimizedLayout: opt})
-	case "btio":
-		m, err := machine.SP2()
-		if err != nil {
-			return core.Report{}, err
-		}
-		cls := btio.ClassA
-		if strings.ToUpper(class) == "B" {
-			cls = btio.ClassB
-		}
-		return btio.Run(btio.Config{Machine: m, Procs: procs, Class: cls, Collective: opt})
-	case "ast":
-		nio := ionodes
-		if nio == 0 {
-			nio = 16
-		}
-		m, err := machine.ParagonLarge(nio)
-		if err != nil {
-			return core.Report{}, err
-		}
-		return ast.Run(ast.Config{Machine: m, Procs: procs, Optimized: opt})
-	default:
-		return core.Report{}, fmt.Errorf("unknown app %q (scf11|scf30|fft|btio|ast)", app)
+// run canonicalizes the flag tuple into a serve.Request and executes it
+// through the service's shared path, so iosim answers exactly what pariod
+// would serve for the same configuration.
+func run(app string, procs, ionodes int, opt bool, input, version string, cached int, class string) (serve.Request, core.Report, error) {
+	req, err := serve.Canonicalize(serve.Request{
+		App:       app,
+		Procs:     procs,
+		IONodes:   ionodes,
+		Opt:       opt,
+		Input:     input,
+		Version:   version,
+		CachedPct: cached,
+		Class:     class,
+	})
+	if err != nil {
+		return serve.Request{}, core.Report{}, err
 	}
+	rep, err := serve.Execute(context.Background(), req)
+	if err != nil {
+		return serve.Request{}, core.Report{}, err
+	}
+	return req, rep, nil
 }

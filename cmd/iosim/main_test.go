@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"testing"
+
+	"pario/internal/serve"
+)
 
 // TestRunApps smoke-tests the driver's dispatch for every application at
 // sizes that simulate in well under a second each.
@@ -20,9 +25,12 @@ func TestRunApps(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			rep, err := run(c.app, 4, 0, c.opt, "SMALL", "original", 90, "A")
+			req, rep, err := run(c.app, 4, 0, c.opt, "SMALL", "original", 90, "A")
 			if err != nil {
 				t.Fatal(err)
+			}
+			if req.App != c.app {
+				t.Fatalf("canonical app = %q", req.App)
 			}
 			if rep.ExecSec <= 0 {
 				t.Fatalf("%s: non-positive exec time %g", c.app, rep.ExecSec)
@@ -38,13 +46,44 @@ func TestRunApps(t *testing.T) {
 }
 
 func TestRunRejectsBadConfig(t *testing.T) {
-	if _, err := run("nope", 4, 0, false, "SMALL", "original", 90, "A"); err == nil {
+	if _, _, err := run("nope", 4, 0, false, "SMALL", "original", 90, "A"); err == nil {
 		t.Fatal("unknown app accepted")
 	}
-	if _, err := run("scf11", 4, 0, false, "HUGE", "original", 90, "A"); err == nil {
+	if _, _, err := run("scf11", 4, 0, false, "HUGE", "original", 90, "A"); err == nil {
 		t.Fatal("unknown input accepted")
 	}
-	if _, err := run("scf11", 4, 0, false, "SMALL", "turbo", 90, "A"); err == nil {
+	if _, _, err := run("scf11", 4, 0, false, "SMALL", "turbo", 90, "A"); err == nil {
 		t.Fatal("unknown version accepted")
+	}
+}
+
+// TestJSONOutputMatchesService pins the -json satellite: the CLI's encoding
+// is the service codec verbatim, so for one configuration the daemon's
+// response body and iosim -json are byte-identical.
+func TestJSONOutputMatchesService(t *testing.T) {
+	req, rep, err := run("scf11", 4, 0, false, "SMALL", "original", 90, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliBody, err := serve.Encode(req, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// What the service would serve: canonicalize the equivalent request
+	// and encode its (deterministic) run through the same codec.
+	canon, err := serve.Canonicalize(serve.Request{App: "scf11", Input: "small"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcRep, err := serve.Execute(nil, canon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svcBody, err := serve.Encode(canon, svcRep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cliBody, svcBody) {
+		t.Fatal("iosim -json body differs from the service encoding for the same config")
 	}
 }

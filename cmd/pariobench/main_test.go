@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDriveInProcess runs a small mixed stream against an in-process
+// server and requires the runs==misses invariant to hold (exit 0).
+func TestDriveInProcess(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-n", "16", "-c", "4", "-hot", "0.75"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "hit rate") || !strings.Contains(out, "OK:") {
+		t.Fatalf("unexpected report:\n%s", out)
+	}
+}
+
+func TestDriveRejectsBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-n", "0"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if code := run([]string{"-hot", "1.5"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -1,0 +1,95 @@
+// Command pariod is the simulation-serving daemon: a long-running HTTP
+// JSON service over the iosim parameter space, with job scheduling on a
+// bounded worker pool, a content-addressed result cache, singleflight
+// collapsing of concurrent identical requests, queue-bound backpressure
+// (429) and per-request timeouts that cancel the simulation itself.
+//
+// Usage:
+//
+//	pariod                         # serve on :8080
+//	pariod -addr 127.0.0.1:0       # ephemeral port (printed on startup)
+//	pariod -workers 8 -queue 128 -cache 1024 -timeout 30s
+//
+// Endpoints:
+//
+//	POST /run      {"app":"fft","procs":8,"opt":true}   (or GET with query params)
+//	GET  /healthz
+//	GET  /metrics
+//
+// SIGINT/SIGTERM drain gracefully: in-flight runs finish and their
+// responses are written in full before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pario/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, nil))
+}
+
+// run is the whole daemon behind a testable seam: argv in, exit code out.
+// ready, when non-nil, receives the bound address once the listener is up;
+// closing stop triggers the same graceful drain a signal would. Both are
+// nil in production.
+func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-chan struct{}) int {
+	fs := flag.NewFlagSet("pariod", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr    = fs.String("addr", ":8080", "listen address (port 0 picks a free port)")
+		workers = fs.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		queue   = fs.Int("queue", 64, "admission queue depth; a full queue answers 429")
+		cache   = fs.Int("cache", 512, "result cache capacity in entries")
+		timeout = fs.Duration("timeout", 60*time.Second, "per-request ceiling (requests may ask for less via ?timeout_sec=)")
+		drain   = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	srv := serve.New(serve.Options{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+		Timeout:      *timeout,
+	})
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "pariod: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "pariod: listening on http://%s\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	if ready != nil {
+		ready <- bound.String()
+	}
+	var cause string
+	select {
+	case s := <-sig:
+		cause = s.String()
+	case <-stop:
+		cause = "stop"
+	}
+	fmt.Fprintf(stdout, "pariod: %s, draining (up to %v)\n", cause, *drain)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "pariod: drain incomplete: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "pariod: drained, bye")
+	return 0
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDaemonLifecycle drives the whole binary through its seam: start on
+// an ephemeral port, health-check, serve one cold run and one cached
+// rerun (asserting the run counter did not move), then drain gracefully.
+func TestDaemonLifecycle(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	exited := make(chan int, 1)
+	go func() {
+		exited <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-queue", "8"},
+			&stdout, &stderr, ready, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not come up")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	const reqBody = `{"app":"scf11","procs":4,"input":"SMALL"}`
+	post := func() (*http.Response, []byte) {
+		resp, err := http.Post(base+"/run", "application/json", strings.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, b
+	}
+	cold, body1 := post()
+	if cold.StatusCode != http.StatusOK || cold.Header.Get("X-Pario-Cache") != "miss" {
+		t.Fatalf("cold: status %d cache %q", cold.StatusCode, cold.Header.Get("X-Pario-Cache"))
+	}
+	warm, body2 := post()
+	if warm.StatusCode != http.StatusOK || warm.Header.Get("X-Pario-Cache") != "hit" {
+		t.Fatalf("warm: status %d cache %q", warm.StatusCode, warm.Header.Get("X-Pario-Cache"))
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("cached body differs from fresh body")
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		RunsTotal int64 `json:"runs_total"`
+		CacheHits int64 `json:"cache_hits"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if m.RunsTotal != 1 || m.CacheHits != 1 {
+		t.Fatalf("runs/hits = %d/%d, want 1/1", m.RunsTotal, m.CacheHits)
+	}
+
+	close(stop)
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+	if !strings.Contains(stdout.String(), "drained") {
+		t.Fatalf("stdout missing drain confirmation: %s", stdout.String())
+	}
+}
+
+// TestDaemonBadFlags pins the usage exit code.
+func TestDaemonBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr, nil, nil); code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}

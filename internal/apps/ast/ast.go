@@ -12,6 +12,7 @@
 package ast
 
 import (
+	"context"
 	"fmt"
 
 	"pario/internal/core"
@@ -39,6 +40,9 @@ const (
 
 // Config describes one AST run.
 type Config struct {
+	// Ctx, when non-nil, bounds the run: cancellation tears the
+	// simulation down promptly (see core.System.RunRanksCtx).
+	Ctx     context.Context
 	Machine *machine.Config
 	Procs   int
 	// N is the square array dimension; the paper's "reasonably large
@@ -128,7 +132,7 @@ func Run(cfg Config) (core.Report, error) {
 	var coll *pio.Collective
 	var funnel *pio.Funnel
 
-	wall, err := sys.RunRanks(func(p *sim.Proc, rank int) {
+	wall, err := sys.RunRanksCtx(cfg.Ctx, func(p *sim.Proc, rank int) {
 		cl := sys.Client(rank, cfg.Machine.Passion)
 		h := cl.Open(p, file)
 		handles[rank] = h

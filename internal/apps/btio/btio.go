@@ -14,6 +14,7 @@
 package btio
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -61,6 +62,9 @@ const (
 
 // Config describes one BTIO run.
 type Config struct {
+	// Ctx, when non-nil, bounds the run: cancellation tears the
+	// simulation down promptly (see core.System.RunRanksCtx).
+	Ctx     context.Context
 	Machine *machine.Config
 	// Procs must be a perfect square (BT requirement).
 	Procs int
@@ -144,7 +148,7 @@ func Run(cfg Config) (core.Report, error) {
 	handles := make([]*pio.Handle, cfg.Procs)
 	var coll *pio.Collective
 
-	wall, err := sys.RunRanks(func(p *sim.Proc, rank int) {
+	wall, err := sys.RunRanksCtx(cfg.Ctx, func(p *sim.Proc, rank int) {
 		cl := sys.Client(rank, cfg.Machine.Unix)
 		h := cl.Open(p, file)
 		handles[rank] = h

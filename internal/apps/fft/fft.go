@@ -16,6 +16,7 @@
 package fft
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -36,6 +37,9 @@ func fftFlops(n int64) float64 {
 
 // Config describes one FFT run.
 type Config struct {
+	// Ctx, when non-nil, bounds the run: cancellation tears the
+	// simulation down promptly (see core.System.RunRanksCtx).
+	Ctx     context.Context
 	Machine *machine.Config
 	Procs   int
 	// N is the array dimension; the paper's 1.5 GB total I/O corresponds
@@ -141,7 +145,7 @@ func Run(cfg Config) (core.Report, error) {
 
 	colFFTFlops := fftFlops(cfg.N)
 
-	wall, err := sys.RunRanks(func(p *sim.Proc, rank int) {
+	wall, err := sys.RunRanksCtx(cfg.Ctx, func(p *sim.Proc, rank int) {
 		// Hand-written code driving PFS directly: the client path is
 		// cheap, so the I/O nodes set the pace (paper §4.4).
 		cl := sys.Client(rank, cfg.Machine.Native)

@@ -17,6 +17,7 @@
 package scf
 
 import (
+	"context"
 	"fmt"
 
 	"pario/internal/core"
@@ -128,6 +129,9 @@ func (v Version) String() string {
 // Config11 describes one SCF 1.1 run: the paper's five-tuple
 // (V, P, M, Su, Sf) plus the input.
 type Config11 struct {
+	// Ctx, when non-nil, bounds the run: cancellation tears the
+	// simulation down promptly (see core.System.RunRanksCtx).
+	Ctx     context.Context
 	Machine *machine.Config
 	Input   Input
 	Version Version
@@ -178,7 +182,7 @@ func Run11(cfg Config11) (core.Report, error) {
 		nInt := integrals(cfg.Input.N)
 		evalWallFlops := nInt * evalFlopsPerIntegral / float64(cfg.Procs)
 		fockWallFlops := nInt * screenFrac * fockFlopsPerStored / float64(cfg.Procs)
-		wall, err := sys.RunRanks(func(p *sim.Proc, rank int) {
+		wall, err := sys.RunRanksCtx(cfg.Ctx, func(p *sim.Proc, rank int) {
 			for it := 0; it <= readIterations; it++ {
 				sys.Compute(p, evalWallFlops+fockWallFlops)
 				sys.Comm.Allreduce(p, rank, int64(8*cfg.Input.N))
@@ -217,7 +221,7 @@ func Run11(cfg Config11) (core.Report, error) {
 	evalFlopsPerByte := evalFlopsPerIntegral / (screenFrac * integralBytes)
 	fockFlopsPerByte := float64(fockFlopsPerStored) / integralBytes
 
-	wall, err := sys.RunRanks(func(p *sim.Proc, rank int) {
+	wall, err := sys.RunRanksCtx(cfg.Ctx, func(p *sim.Proc, rank int) {
 		cl := sys.Client(rank, par)
 		h := cl.Open(p, files[rank])
 		// The production code also touches a handful of control and
@@ -297,6 +301,9 @@ func Run11(cfg Config11) (core.Report, error) {
 // CachedPct of the integrals live on disk and the rest are re-evaluated
 // every iteration.
 type Config30 struct {
+	// Ctx, when non-nil, bounds the run: cancellation tears the
+	// simulation down promptly (see core.System.RunRanksCtx).
+	Ctx     context.Context
 	Machine *machine.Config
 	Input   Input
 	Procs   int
@@ -366,7 +373,7 @@ func Run30(cfg Config30) (core.Report, error) {
 	recomputeFlops := nInt * (1 - cached) * evalFlopsPerIntegral * recomputeCostFactor / float64(cfg.Procs)
 	fockFlops := nInt * screenFrac * fock30FlopsPerStored / float64(cfg.Procs)
 
-	wall, err := sys.RunRanks(func(p *sim.Proc, rank int) {
+	wall, err := sys.RunRanksCtx(cfg.Ctx, func(p *sim.Proc, rank int) {
 		cl := sys.Client(rank, cfg.Machine.Passion)
 		h := cl.Open(p, files[rank])
 		perProc := sizes[rank]

@@ -10,6 +10,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"pario/internal/machine"
@@ -107,6 +109,25 @@ func (s *System) Compute(p *sim.Proc, flops float64) {
 // of the slowest rank. The engine is run to completion, so asynchronous
 // activity (cache drains, prefetches) is fully accounted.
 func (s *System) RunRanks(body func(p *sim.Proc, rank int)) (float64, error) {
+	return s.RunRanksCtx(nil, body)
+}
+
+// RunRanksCtx is RunRanks bounded by ctx: when ctx is canceled or its
+// deadline passes, the simulation is torn down promptly (the engine polls
+// ctx between event batches) and the context's error is returned instead of
+// a result. A nil or never-canceled ctx behaves exactly like RunRanks. The
+// engine cannot be reused after a canceled run — it is stopped, like after
+// Stop — but its metrics registry remains inspectable.
+func (s *System) RunRanksCtx(ctx context.Context, body func(p *sim.Proc, rank int)) (float64, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		if ctx.Done() != nil {
+			s.Eng.SetInterrupt(ctx.Err)
+			defer s.Eng.SetInterrupt(nil)
+		}
+	}
 	finish := make([]float64, s.Procs)
 	for r := 0; r < s.Procs; r++ {
 		r := r
@@ -116,6 +137,11 @@ func (s *System) RunRanks(body func(p *sim.Proc, rank int)) (float64, error) {
 		})
 	}
 	if err := s.Eng.Run(); err != nil {
+		if errors.Is(err, sim.ErrInterrupted) && ctx != nil && ctx.Err() != nil {
+			// Surface the cancellation itself — callers match on
+			// context.Canceled / DeadlineExceeded, not kernel internals.
+			return 0, ctx.Err()
+		}
 		return 0, err
 	}
 	var wall float64

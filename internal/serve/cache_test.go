@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	if _, ok := c.Get("a"); !ok { // refresh a: b is now coldest
+		t.Fatal("a missing")
+	}
+	c.Put("c", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as the coldest entry")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite being recently used")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d, want 2", c.Len())
+	}
+	if _, _, ev := c.Counters(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestCacheRePutRefreshes(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	c.Put("a", []byte("A")) // refresh, no growth
+	if c.Len() != 2 {
+		t.Fatalf("len = %d after re-put, want 2", c.Len())
+	}
+	c.Put("c", []byte("C"))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("re-put entry evicted")
+	}
+}
+
+// TestCacheConcurrent hammers Get/Put from many goroutines; run with -race.
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%64)
+				if body, ok := c.Get(key); ok {
+					if string(body) != key {
+						t.Errorf("key %s holds %q", key, body)
+					}
+				} else {
+					c.Put(key, []byte(key))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Fatalf("len = %d exceeds capacity", c.Len())
+	}
+}

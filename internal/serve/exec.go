@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"pario/internal/apps/ast"
+	"pario/internal/apps/btio"
+	"pario/internal/apps/fft"
+	"pario/internal/apps/scf"
+	"pario/internal/core"
+	"pario/internal/machine"
+)
+
+// Execute runs the simulation a canonicalized request names and returns its
+// report. ctx bounds the run: cancellation tears the simulation down
+// promptly and surfaces the context's error. Execute is the single
+// execution path shared by the daemon and cmd/iosim, so both produce the
+// same report for the same request.
+func Execute(ctx context.Context, req Request) (core.Report, error) {
+	switch req.App {
+	case "scf11":
+		m, err := machine.ParagonLarge(req.IONodes)
+		if err != nil {
+			return core.Report{}, err
+		}
+		v := scf.Original
+		switch req.Version {
+		case "original":
+		case "passion":
+			v = scf.Passion
+		case "prefetch":
+			v = scf.PassionPrefetch
+		default:
+			return core.Report{}, fmt.Errorf("serve: unknown version %q", req.Version)
+		}
+		return scf.Run11(scf.Config11{
+			Ctx: ctx, Machine: m, Input: scfInput(req.Input), Procs: req.Procs, Version: v,
+		})
+	case "scf30":
+		m, err := machine.ParagonLarge(req.IONodes)
+		if err != nil {
+			return core.Report{}, err
+		}
+		return scf.Run30(scf.Config30{
+			Ctx: ctx, Machine: m, Input: scfInput(req.Input), Procs: req.Procs,
+			CachedPct: req.CachedPct, Balance: true,
+		})
+	case "fft":
+		m, err := machine.ParagonSmall(req.IONodes)
+		if err != nil {
+			return core.Report{}, err
+		}
+		return fft.Run(fft.Config{Ctx: ctx, Machine: m, Procs: req.Procs, OptimizedLayout: req.Opt})
+	case "btio":
+		m, err := machine.SP2()
+		if err != nil {
+			return core.Report{}, err
+		}
+		cls := btio.ClassA
+		if req.Class == "B" {
+			cls = btio.ClassB
+		}
+		return btio.Run(btio.Config{Ctx: ctx, Machine: m, Procs: req.Procs, Class: cls, Collective: req.Opt})
+	case "ast":
+		m, err := machine.ParagonLarge(req.IONodes)
+		if err != nil {
+			return core.Report{}, err
+		}
+		return ast.Run(ast.Config{Ctx: ctx, Machine: m, Procs: req.Procs, Optimized: req.Opt})
+	default:
+		return core.Report{}, fmt.Errorf("serve: unknown app %q", req.App)
+	}
+}
+
+// scfInput maps a canonical input name to the deck; Canonicalize has
+// already validated it.
+func scfInput(name string) scf.Input {
+	switch name {
+	case "SMALL":
+		return scf.Small
+	case "LARGE":
+		return scf.Large
+	default:
+		return scf.Medium
+	}
+}

@@ -1,0 +1,169 @@
+// Package serve is the simulation-serving layer: a long-running HTTP JSON
+// service over the same run-parameter space as cmd/iosim. It schedules run
+// requests on a bounded worker pool layered on the experiment runner
+// (internal/exp.Map), caches results by canonicalized request content —
+// sound because every simulation is deterministic — collapses concurrent
+// identical requests with singleflight, sheds load with explicit queue
+// bounds (HTTP 429), and plumbs per-request timeouts down into the
+// simulation kernel so a canceled request frees its worker instead of
+// leaking it.
+//
+// The response codec lives here too, shared with cmd/iosim's -json flag, so
+// the CLI and the daemon emit byte-identical reports for the same config.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"pario/internal/machine"
+)
+
+// Request names one simulation run: the iosim parameter space. The zero
+// value of every optional field means "the app's paper default", exactly as
+// cmd/iosim's flag defaults do; Canonicalize resolves them so that
+// equivalent requests share one cache key.
+type Request struct {
+	// App is one of scf11, scf30, fft, btio, ast (case-insensitive).
+	App string `json:"app"`
+	// Procs is the number of compute processes (default 4).
+	Procs int `json:"procs,omitempty"`
+	// IONodes is the I/O partition size; 0 selects the app's paper
+	// default. btio runs on the fixed SP2 partition and ignores it.
+	IONodes int `json:"ionodes,omitempty"`
+	// Opt applies the application's optimization (layout, collective,
+	// PASSION+prefetch).
+	Opt bool `json:"opt,omitempty"`
+	// Input is the SCF input deck: SMALL, MEDIUM or LARGE (scf only).
+	Input string `json:"input,omitempty"`
+	// Version is the scf11 I/O interface: original, passion or prefetch.
+	Version string `json:"version,omitempty"`
+	// CachedPct is the scf30 disk-cached integral percentage (default 90).
+	CachedPct int `json:"cached_pct,omitempty"`
+	// Class is the btio problem class: A or B.
+	Class string `json:"class,omitempty"`
+}
+
+// scf11Versions is the request-level version vocabulary. Opt folds into
+// prefetch during canonicalization, mirroring iosim's -opt.
+var scf11Versions = map[string]bool{"original": true, "passion": true, "prefetch": true}
+
+var scfInputs = map[string]bool{"SMALL": true, "MEDIUM": true, "LARGE": true}
+
+// Canonicalize validates req and resolves every default, returning the
+// canonical form that keys the result cache: fields an app ignores are
+// cleared, case is normalized, and iosim's -opt aliasing (scf11 -opt means
+// the prefetch version) is applied. Two requests that would simulate the
+// same configuration canonicalize to identical values.
+func Canonicalize(req Request) (Request, error) {
+	c := Request{App: strings.ToLower(strings.TrimSpace(req.App))}
+	c.Procs = req.Procs
+	if c.Procs == 0 {
+		c.Procs = 4
+	}
+	if c.Procs < 1 {
+		return Request{}, fmt.Errorf("serve: %d procs", c.Procs)
+	}
+
+	nio := func(def int) int {
+		if req.IONodes == 0 {
+			return def
+		}
+		return req.IONodes
+	}
+	input := strings.ToUpper(strings.TrimSpace(req.Input))
+	if input == "" {
+		input = "MEDIUM"
+	}
+
+	switch c.App {
+	case "scf11":
+		c.IONodes = nio(12)
+		if _, err := machine.ParagonLarge(c.IONodes); err != nil {
+			return Request{}, err
+		}
+		if !scfInputs[input] {
+			return Request{}, fmt.Errorf("serve: unknown input %q", req.Input)
+		}
+		c.Input = input
+		v := strings.ToLower(strings.TrimSpace(req.Version))
+		if v == "" {
+			v = "original"
+		}
+		if !scf11Versions[v] {
+			return Request{}, fmt.Errorf("serve: unknown version %q", req.Version)
+		}
+		if req.Opt {
+			v = "prefetch" // iosim -opt selects PASSION+prefetch
+		}
+		c.Version = v
+	case "scf30":
+		c.IONodes = nio(16)
+		if _, err := machine.ParagonLarge(c.IONodes); err != nil {
+			return Request{}, err
+		}
+		if !scfInputs[input] {
+			return Request{}, fmt.Errorf("serve: unknown input %q", req.Input)
+		}
+		c.Input = input
+		c.CachedPct = req.CachedPct
+		if c.CachedPct == 0 {
+			c.CachedPct = 90
+		}
+		if c.CachedPct < 0 || c.CachedPct > 100 {
+			return Request{}, fmt.Errorf("serve: cached_pct %d out of range", req.CachedPct)
+		}
+	case "fft":
+		c.IONodes = nio(2)
+		if _, err := machine.ParagonSmall(c.IONodes); err != nil {
+			return Request{}, err
+		}
+		c.Opt = req.Opt
+	case "btio":
+		// The SP2 partition is fixed; IONodes stays 0 in canonical form.
+		if sq := isqrt(c.Procs); sq*sq != c.Procs {
+			return Request{}, fmt.Errorf("serve: btio needs a square process count, got %d", c.Procs)
+		}
+		cls := strings.ToUpper(strings.TrimSpace(req.Class))
+		if cls == "" {
+			cls = "A"
+		}
+		if cls != "A" && cls != "B" {
+			return Request{}, fmt.Errorf("serve: unknown btio class %q", req.Class)
+		}
+		c.Class = cls
+		c.Opt = req.Opt
+	case "ast":
+		c.IONodes = nio(16)
+		if _, err := machine.ParagonLarge(c.IONodes); err != nil {
+			return Request{}, err
+		}
+		c.Opt = req.Opt
+	default:
+		return Request{}, fmt.Errorf("serve: unknown app %q (scf11|scf30|fft|btio|ast)", req.App)
+	}
+	return c, nil
+}
+
+func isqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+// Key returns the request's content address: the hex SHA-256 of its
+// canonical JSON encoding. Call it only on canonicalized requests.
+func (r Request) Key() string {
+	b, err := json.Marshal(r)
+	if err != nil {
+		// Request is a plain struct of scalars; Marshal cannot fail.
+		panic(err)
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrBusy is returned by Submit when the admission queue is full: the
+// caller should shed the request (HTTP 429) rather than wait.
+var ErrBusy = errors.New("serve: queue full")
+
+// ErrDraining is returned by Submit once Close has begun: the scheduler
+// finishes what it accepted but takes no new work.
+var ErrDraining = errors.New("serve: scheduler draining")
+
+// Scheduler is the bounded run executor: a fixed worker pool fed by a
+// fixed-depth admission queue. Admission is non-blocking — a full queue is
+// the backpressure signal — and a job whose context ends while queued is
+// skipped by the worker that dequeues it, so canceled requests cost a check,
+// not a simulation.
+type Scheduler struct {
+	mu     sync.Mutex // guards closed and the send into jobs
+	closed bool
+	jobs   chan *schedJob
+	wg     sync.WaitGroup
+
+	inFlight atomic.Int64
+}
+
+type schedJob struct {
+	ctx  context.Context
+	fn   func(ctx context.Context) ([]byte, error)
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// NewScheduler starts workers goroutines behind a queue of depth pending
+// slots (both minimum 1).
+func NewScheduler(workers, depth int) *Scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	s := &Scheduler{jobs: make(chan *schedJob, depth)}
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		s.inFlight.Add(1)
+		if err := j.ctx.Err(); err != nil {
+			j.err = err // canceled while queued: free the slot immediately
+		} else {
+			j.body, j.err = j.fn(j.ctx)
+		}
+		close(j.done)
+		s.inFlight.Add(-1)
+	}
+}
+
+// Submit enqueues fn and waits for its result. It returns ErrBusy without
+// waiting when the queue is full, ErrDraining after Close, and ctx's error
+// if ctx ends first — in which case the job is abandoned: if it is already
+// running, fn's own ctx plumbing (the simulation kernel's interrupt hook)
+// stops it and frees the worker.
+func (s *Scheduler) Submit(ctx context.Context, fn func(ctx context.Context) ([]byte, error)) ([]byte, error) {
+	j := &schedJob{ctx: ctx, fn: fn, done: make(chan struct{})}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	select {
+	case s.jobs <- j:
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		return nil, ErrBusy
+	}
+	select {
+	case <-j.done:
+		return j.body, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// QueueDepth returns the number of jobs waiting for a worker.
+func (s *Scheduler) QueueDepth() int { return len(s.jobs) }
+
+// InFlight returns the number of jobs currently occupying workers.
+func (s *Scheduler) InFlight() int64 { return s.inFlight.Load() }
+
+// Close stops admission, lets queued and running jobs finish, and returns
+// when every worker has exited: the drain half of graceful shutdown.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.jobs)
+	s.mu.Unlock()
+	s.wg.Wait()
+}

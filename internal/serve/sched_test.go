@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// blockingRun returns a job fn that signals start and blocks until release
+// (or its ctx ends).
+func blockingRun(started chan<- struct{}, release <-chan struct{}) func(context.Context) ([]byte, error) {
+	return func(ctx context.Context) ([]byte, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return []byte("done"), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// TestSchedulerBackpressure fills one worker and one queue slot, verifies
+// the next submission is shed with ErrBusy, then drains and verifies the
+// scheduler accepts work again: the 429 → recovery cycle.
+func TestSchedulerBackpressure(t *testing.T) {
+	s := NewScheduler(1, 1)
+	defer s.Close()
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([]error, 2)
+	for i := 0; i < 2; i++ { // one runs, one queues
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, results[i] = s.Submit(context.Background(), blockingRun(started, release))
+		}(i)
+	}
+	<-started // the first job occupies the worker
+	// Wait for the second submission to occupy the queue slot.
+	deadline := time.Now().Add(time.Second)
+	for s.QueueDepth() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.QueueDepth() != 1 {
+		t.Fatalf("queue depth = %d, want 1", s.QueueDepth())
+	}
+
+	if _, err := s.Submit(context.Background(), blockingRun(started, release)); !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+
+	close(release) // drain
+	wg.Wait()
+	for i, err := range results {
+		if err != nil {
+			t.Fatalf("submission %d: %v", i, err)
+		}
+	}
+	// Recovered: a fresh job is admitted and completes.
+	body, err := s.Submit(context.Background(), func(ctx context.Context) ([]byte, error) {
+		return []byte("after drain"), nil
+	})
+	if err != nil || string(body) != "after drain" {
+		t.Fatalf("post-drain submit: body %q err %v", body, err)
+	}
+}
+
+// TestSchedulerCanceledQueuedJobFreesSlot cancels a job while it waits in
+// the queue and verifies the worker skips it without executing.
+func TestSchedulerCanceledQueuedJobFreesSlot(t *testing.T) {
+	s := NewScheduler(1, 2)
+	defer s.Close()
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Submit(context.Background(), blockingRun(started, release)); err != nil {
+			t.Error(err)
+		}
+	}()
+	<-started // worker occupied
+
+	ctx, cancel := context.WithCancel(context.Background())
+	executed := false
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := s.Submit(ctx, func(context.Context) ([]byte, error) {
+			executed = true
+			return nil, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("queued job err = %v, want context.Canceled", err)
+		}
+	}()
+	deadline := time.Now().Add(time.Second)
+	for s.QueueDepth() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel() // cancel while queued
+	close(release)
+	wg.Wait()
+	if executed {
+		t.Fatal("canceled job executed anyway")
+	}
+	// The slot is free again.
+	if _, err := s.Submit(context.Background(), func(context.Context) ([]byte, error) { return nil, nil }); err != nil {
+		t.Fatalf("post-cancel submit: %v", err)
+	}
+}
+
+// TestSchedulerRunningJobCtx verifies a running job sees its context end
+// and the submitter gets the context error.
+func TestSchedulerRunningJobCtx(t *testing.T) {
+	s := NewScheduler(1, 1)
+	defer s.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	_, err := s.Submit(ctx, func(jctx context.Context) ([]byte, error) {
+		<-jctx.Done()
+		return nil, jctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSchedulerCloseDrains verifies Close lets accepted jobs finish and
+// rejects later submissions with ErrDraining.
+func TestSchedulerCloseDrains(t *testing.T) {
+	s := NewScheduler(2, 4)
+	started := make(chan struct{}, 2)
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, results[i] = s.Submit(context.Background(), blockingRun(started, release))
+		}(i)
+	}
+	<-started
+	<-started
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		close(release)
+	}()
+	s.Close() // must wait for both
+	wg.Wait()
+	for i, err := range results {
+		if err != nil {
+			t.Fatalf("in-flight job %d failed during Close: %v", i, err)
+		}
+	}
+	if _, err := s.Submit(context.Background(), func(context.Context) ([]byte, error) { return nil, nil }); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-Close submit err = %v, want ErrDraining", err)
+	}
+}
+
+// TestSchedulerConcurrentSubmitStress mixes many submissions with distinct
+// outcomes; run with -race.
+func TestSchedulerConcurrentSubmitStress(t *testing.T) {
+	s := NewScheduler(4, 8)
+	defer s.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := s.Submit(context.Background(), func(context.Context) ([]byte, error) {
+				time.Sleep(time.Duration(i%3) * time.Millisecond)
+				return nil, nil
+			})
+			if err != nil && !errors.Is(err, ErrBusy) {
+				t.Errorf("submit %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

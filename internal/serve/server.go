@@ -1,0 +1,379 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pario/internal/core"
+	"pario/internal/exp"
+	"pario/internal/stats"
+)
+
+// Options configures a Server. Zero values select the defaults noted on
+// each field.
+type Options struct {
+	// Workers is the simulation worker-pool size (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth is the admission queue bound; a full queue answers 429
+	// (default 64).
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (default 512).
+	CacheEntries int
+	// Timeout is the per-request ceiling, cancellation included; a
+	// request may ask for less via ?timeout_sec= but never more
+	// (default 60s).
+	Timeout time.Duration
+}
+
+func (o *Options) defaults() {
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth == 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheEntries == 0 {
+		o.CacheEntries = 512
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 60 * time.Second
+	}
+}
+
+// Server is the simulation-serving daemon core: HTTP handlers over the
+// cache → singleflight → scheduler pipeline. Construct with New; serve via
+// Handler (any http server) or Start/Shutdown (managed listener with
+// graceful drain).
+type Server struct {
+	opts   Options
+	cache  *Cache
+	flight flightGroup
+	sched  *Scheduler
+	mux    *http.ServeMux
+
+	// run is the execution seam: Execute in production, replaceable in
+	// tests that need slow or failing runs.
+	run func(ctx context.Context, req Request) (core.Report, error)
+
+	httpSrv  *http.Server
+	started  time.Time
+	draining atomic.Bool
+
+	// Response-outcome counters (each finished request increments exactly
+	// one of hit/miss/shared/rejected/badReq/canceled/failed).
+	requests atomic.Int64
+	hit      atomic.Int64
+	miss     atomic.Int64
+	sharedOK atomic.Int64
+	rejected atomic.Int64
+	badReq   atomic.Int64
+	canceled atomic.Int64
+	failed   atomic.Int64
+
+	// Work counters: what actually simulated. The cached path must leave
+	// runs untouched — that is the "never re-simulates" invariant the
+	// load smoke asserts.
+	runs      atomic.Int64
+	runEvents atomic.Uint64
+	runWallNs atomic.Int64
+
+	sim struct {
+		mu   sync.Mutex
+		snap *stats.Snapshot
+	}
+}
+
+// New returns a ready Server; callers then use Handler or Start.
+func New(opts Options) *Server {
+	opts.defaults()
+	s := &Server{
+		opts:    opts,
+		cache:   NewCache(opts.CacheEntries),
+		sched:   NewScheduler(opts.Workers, opts.QueueDepth),
+		run:     Execute,
+		started: time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (":0" picks a free port) and serves in the
+// background, returning the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.httpSrv = &http.Server{Handler: s.mux}
+	go func() {
+		// ErrServerClosed is the normal Shutdown outcome; anything else
+		// would surface on the next request anyway.
+		_ = s.httpSrv.Serve(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+// Shutdown drains gracefully: stop accepting, wait (bounded by ctx) for
+// in-flight requests to finish — their responses are written in full — then
+// retire the worker pool. After Shutdown, submissions fail with 503.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.httpSrv != nil {
+		if err := s.httpSrv.Shutdown(ctx); err != nil {
+			return err
+		}
+	}
+	s.sched.Close()
+	return nil
+}
+
+// runJob is the expensive path: simulate, encode, fill the cache. It runs
+// on a scheduler worker, as a one-point sweep through the experiment
+// runner, so run accounting (points, kernel events, wall time) follows the
+// same contract as the sweep harness.
+func (s *Server) runJob(ctx context.Context, req Request, key string) ([]byte, error) {
+	reps, st, err := exp.Map([]Request{req}, 1, func(r Request) (core.Report, error) {
+		return s.run(ctx, r)
+	})
+	s.runs.Add(int64(st.Points))
+	s.runEvents.Add(st.Events)
+	s.runWallNs.Add(int64(st.WallSum))
+	if err != nil {
+		return nil, err
+	}
+	body, err := Encode(req, reps[0])
+	if err != nil {
+		return nil, err
+	}
+	// Fill before responding: even if the client has gone away, the work
+	// is banked for the next identical request.
+	s.cache.Put(key, body)
+	if snap := reps[0].Stats; snap != nil {
+		s.sim.mu.Lock()
+		if s.sim.snap == nil {
+			s.sim.snap = &stats.Snapshot{}
+		}
+		s.sim.snap.Merge(snap)
+		s.sim.mu.Unlock()
+	}
+	return body, nil
+}
+
+// decodeRequest reads a run request from JSON body (POST) or query
+// parameters (GET), plus the optional ?timeout_sec= override.
+func decodeRequest(r *http.Request) (Request, time.Duration, error) {
+	var req Request
+	switch r.Method {
+	case http.MethodPost:
+		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return Request{}, 0, fmt.Errorf("decoding request body: %w", err)
+		}
+	case http.MethodGet:
+		q := r.URL.Query()
+		req.App = q.Get("app")
+		req.Input = q.Get("input")
+		req.Version = q.Get("version")
+		req.Class = q.Get("class")
+		for name, dst := range map[string]*int{
+			"procs": &req.Procs, "ionodes": &req.IONodes, "cached_pct": &req.CachedPct,
+		} {
+			if v := q.Get(name); v != "" {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return Request{}, 0, fmt.Errorf("parameter %s: %w", name, err)
+				}
+				*dst = n
+			}
+		}
+		if v := q.Get("opt"); v != "" {
+			b, err := strconv.ParseBool(v)
+			if err != nil {
+				return Request{}, 0, fmt.Errorf("parameter opt: %w", err)
+			}
+			req.Opt = b
+		}
+	default:
+		return Request{}, 0, fmt.Errorf("method %s not allowed", r.Method)
+	}
+	var timeout time.Duration
+	if v := r.URL.Query().Get("timeout_sec"); v != "" {
+		sec, err := strconv.ParseFloat(v, 64)
+		if err != nil || sec <= 0 {
+			return Request{}, 0, fmt.Errorf("parameter timeout_sec: %q", v)
+		}
+		timeout = time.Duration(sec * float64(time.Second))
+	}
+	return req, timeout, nil
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	req, timeout, err := decodeRequest(r)
+	if err != nil {
+		s.badReq.Add(1)
+		status := http.StatusBadRequest
+		if r.Method != http.MethodPost && r.Method != http.MethodGet {
+			status = http.StatusMethodNotAllowed
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	canon, err := Canonicalize(req)
+	if err != nil {
+		s.badReq.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	key := canon.Key()
+
+	if body, ok := s.cache.Get(key); ok {
+		s.hit.Add(1)
+		s.respond(w, key, "hit", body)
+		return
+	}
+
+	if timeout <= 0 || timeout > s.opts.Timeout {
+		timeout = s.opts.Timeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	body, err, leader := s.flight.Do(ctx, key, func() ([]byte, error) {
+		return s.sched.Submit(ctx, func(jctx context.Context) ([]byte, error) {
+			return s.runJob(jctx, canon, key)
+		})
+	})
+	switch {
+	case err == nil:
+		if leader {
+			s.miss.Add(1)
+			s.respond(w, key, "miss", body)
+		} else {
+			s.sharedOK.Add(1)
+			s.respond(w, key, "shared", body)
+		}
+	case errors.Is(err, ErrBusy):
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "queue full, retry later", http.StatusTooManyRequests)
+	case errors.Is(err, ErrDraining):
+		http.Error(w, "server draining", http.StatusServiceUnavailable)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		s.canceled.Add(1)
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+	default:
+		s.failed.Add(1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// respond writes a run result body. source is hit (cache), miss (this
+// request simulated) or shared (another in-flight request simulated).
+func (s *Server) respond(w http.ResponseWriter, key, source string, body []byte) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Pario-Cache", source)
+	h.Set("X-Pario-Key", key)
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	_, _ = w.Write(body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_sec\":%.3f}\n", time.Since(s.started).Seconds())
+}
+
+// Metrics is the /metrics document: serving counters alongside the
+// cumulative cross-layer simulation snapshot.
+type Metrics struct {
+	UptimeSec float64 `json:"uptime_sec"`
+	Draining  bool    `json:"draining"`
+
+	Workers       int   `json:"workers"`
+	QueueCapacity int   `json:"queue_capacity"`
+	QueueDepth    int   `json:"queue_depth"`
+	InFlight      int64 `json:"in_flight"`
+
+	RequestsTotal   int64 `json:"requests_total"`
+	CacheHits       int64 `json:"cache_hits"`
+	CacheMisses     int64 `json:"cache_misses"`
+	SharedTotal     int64 `json:"singleflight_shared_total"`
+	RejectedTotal   int64 `json:"rejected_total"`
+	BadRequestTotal int64 `json:"bad_request_total"`
+	CanceledTotal   int64 `json:"canceled_total"`
+	ErrorTotal      int64 `json:"error_total"`
+
+	CacheEntries   int   `json:"cache_entries"`
+	CacheEvictions int64 `json:"cache_evictions"`
+
+	RunsTotal       int64   `json:"runs_total"`
+	RunEventsTotal  uint64  `json:"run_events_total"`
+	RunWallSecTotal float64 `json:"run_wall_sec_total"`
+
+	// Sim is the stats.Snapshot merged over every fresh run served.
+	Sim *stats.Snapshot `json:"sim,omitempty"`
+}
+
+// MetricsSnapshot assembles the current metrics document.
+func (s *Server) MetricsSnapshot() Metrics {
+	_, _, evictions := s.cache.Counters()
+	m := Metrics{
+		UptimeSec:       time.Since(s.started).Seconds(),
+		Draining:        s.draining.Load(),
+		Workers:         s.opts.Workers,
+		QueueCapacity:   s.opts.QueueDepth,
+		QueueDepth:      s.sched.QueueDepth(),
+		InFlight:        s.sched.InFlight(),
+		RequestsTotal:   s.requests.Load(),
+		CacheHits:       s.hit.Load(),
+		CacheMisses:     s.miss.Load(),
+		SharedTotal:     s.sharedOK.Load(),
+		RejectedTotal:   s.rejected.Load(),
+		BadRequestTotal: s.badReq.Load(),
+		CanceledTotal:   s.canceled.Load(),
+		ErrorTotal:      s.failed.Load(),
+		CacheEntries:    s.cache.Len(),
+		CacheEvictions:  evictions,
+		RunsTotal:       s.runs.Load(),
+		RunEventsTotal:  s.runEvents.Load(),
+		RunWallSecTotal: time.Duration(s.runWallNs.Load()).Seconds(),
+	}
+	s.sim.mu.Lock()
+	if s.sim.snap != nil {
+		snap := *s.sim.snap
+		m.Sim = &snap
+	}
+	s.sim.mu.Unlock()
+	return m
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	b, err := json.MarshalIndent(s.MetricsSnapshot(), "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(b, '\n'))
+}

@@ -1,0 +1,470 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pario/internal/core"
+)
+
+// postRun issues a POST /run against ts and returns the response.
+func postRun(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func metricsOf(t *testing.T, ts *httptest.Server) Metrics {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestServerColdThenCached runs one real simulation cold, re-requests it,
+// and verifies: byte-identical bodies, hit/miss headers, and — the serving
+// layer's core invariant — zero additional simulation runs on the cached
+// path, asserted via the run counter, not timing.
+func TestServerColdThenCached(t *testing.T) {
+	s := New(Options{Workers: 2, QueueDepth: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.sched.Close()
+
+	const reqBody = `{"app":"scf11","procs":4,"input":"SMALL"}`
+	resp1, body1 := postRun(t, ts, reqBody)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("cold: status %d: %s", resp1.StatusCode, body1)
+	}
+	if got := resp1.Header.Get("X-Pario-Cache"); got != "miss" {
+		t.Fatalf("cold: X-Pario-Cache = %q, want miss", got)
+	}
+	if m := metricsOf(t, ts); m.RunsTotal != 1 {
+		t.Fatalf("runs_total after cold run = %d, want 1", m.RunsTotal)
+	}
+
+	resp2, body2 := postRun(t, ts, reqBody)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("cached: status %d", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("X-Pario-Cache"); got != "hit" {
+		t.Fatalf("cached: X-Pario-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("cached body differs from fresh body")
+	}
+	m := metricsOf(t, ts)
+	if m.RunsTotal != 1 {
+		t.Fatalf("runs_total after cached rerun = %d, want 1 (cached path re-simulated)", m.RunsTotal)
+	}
+	if m.CacheHits != 1 || m.CacheMisses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", m.CacheHits, m.CacheMisses)
+	}
+
+	// A decoded body is a valid Result whose report carries a metrics
+	// snapshot with wall time quarantined.
+	var res Result
+	if err := json.Unmarshal(body1, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.ExecSec <= 0 || res.Report.Events == 0 {
+		t.Fatalf("implausible report: %+v", res.Report)
+	}
+	if res.Report.Stats == nil || res.Report.Stats.WallSec != 0 {
+		t.Fatal("metrics snapshot missing or wall_sec not quarantined")
+	}
+}
+
+// TestServerFreshVsCachedByteEquality is the determinism soundness check
+// behind content-addressed caching: a second, completely fresh server must
+// produce byte-for-byte the body the first server cached.
+func TestServerFreshVsCachedByteEquality(t *testing.T) {
+	const reqBody = `{"app":"fft","procs":4,"opt":true}`
+	bodies := make([][]byte, 2)
+	for i := range bodies {
+		s := New(Options{Workers: 1, QueueDepth: 2})
+		ts := httptest.NewServer(s.Handler())
+		resp, b := postRun(t, ts, reqBody)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("server %d: status %d: %s", i, resp.StatusCode, b)
+		}
+		if got := resp.Header.Get("X-Pario-Cache"); got != "miss" {
+			t.Fatalf("server %d: X-Pario-Cache = %q, want miss", i, got)
+		}
+		bodies[i] = b
+		ts.Close()
+		s.sched.Close()
+	}
+	if !bytes.Equal(bodies[0], bodies[1]) {
+		t.Fatal("two fresh servers produced different bodies for one canonical request")
+	}
+}
+
+// TestServerEquivalentRequestsShareOneRun verifies canonicalization: a
+// request with defaults spelled out (and shuffled case, and GET vs POST)
+// lands on the same content address as the bare request.
+func TestServerEquivalentRequestsShareOneRun(t *testing.T) {
+	s := New(Options{Workers: 2, QueueDepth: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.sched.Close()
+
+	resp1, body1 := postRun(t, ts, `{"app":"scf11","input":"small"}`)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp1.StatusCode, body1)
+	}
+	resp2, err := http.Get(ts.URL + "/run?app=SCF11&procs=4&ionodes=12&input=SMALL&version=original")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("GET: status %d: %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Pario-Cache"); got != "hit" {
+		t.Fatalf("equivalent request missed the cache (X-Pario-Cache = %q)", got)
+	}
+	if resp1.Header.Get("X-Pario-Key") != resp2.Header.Get("X-Pario-Key") {
+		t.Fatal("equivalent requests got different content addresses")
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("equivalent requests got different bodies")
+	}
+	if m := metricsOf(t, ts); m.RunsTotal != 1 {
+		t.Fatalf("runs_total = %d, want 1", m.RunsTotal)
+	}
+}
+
+// fakeRun installs a controllable execution seam; each distinct request
+// blocks until release closes (or its ctx ends).
+func fakeRun(started chan<- string, release <-chan struct{}) func(context.Context, Request) (core.Report, error) {
+	return func(ctx context.Context, req Request) (core.Report, error) {
+		if started != nil {
+			started <- req.App
+		}
+		select {
+		case <-release:
+			return core.Report{Machine: "fake", Procs: req.Procs, ExecSec: 1}, nil
+		case <-ctx.Done():
+			return core.Report{}, ctx.Err()
+		}
+	}
+}
+
+// TestServerBackpressure429 saturates a 1-worker, 1-slot server and
+// verifies the overflow request is shed with 429 + Retry-After, then that
+// the server recovers after the queue drains.
+func TestServerBackpressure429(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 1})
+	started := make(chan string, 4)
+	release := make(chan struct{})
+	s.run = fakeRun(started, release)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.sched.Close()
+
+	var wg sync.WaitGroup
+	// Distinct requests so singleflight cannot collapse them: one
+	// occupies the worker, one the queue slot.
+	for _, procs := range []int{4, 9} {
+		wg.Add(1)
+		go func(procs int) {
+			defer wg.Done()
+			resp, body := postRun(t, ts, fmt.Sprintf(`{"app":"btio","procs":%d}`, procs))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("procs %d: status %d: %s", procs, resp.StatusCode, body)
+			}
+		}(procs)
+	}
+	<-started // worker busy
+	deadline := time.Now().Add(2 * time.Second)
+	for s.sched.QueueDepth() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	resp, _ := postRun(t, ts, `{"app":"btio","procs":16}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	close(release)
+	wg.Wait()
+
+	// Recovery: the same request now gets served.
+	resp2, body := postRun(t, ts, `{"app":"btio","procs":16}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-drain: status %d: %s", resp2.StatusCode, body)
+	}
+	m := metricsOf(t, ts)
+	if m.RejectedTotal != 1 {
+		t.Fatalf("rejected_total = %d, want 1", m.RejectedTotal)
+	}
+}
+
+// TestServerSingleflightCollapse fires two concurrent identical requests
+// and verifies one simulation, one miss, one shared response.
+func TestServerSingleflightCollapse(t *testing.T) {
+	s := New(Options{Workers: 2, QueueDepth: 8})
+	started := make(chan string, 2)
+	release := make(chan struct{})
+	s.run = fakeRun(started, release)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.sched.Close()
+
+	results := make(chan string, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postRun(t, ts, `{"app":"fft","procs":8}`)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d: %s", resp.StatusCode, body)
+			}
+			results <- resp.Header.Get("X-Pario-Cache")
+		}()
+	}
+	<-started // leader simulating
+	// Let the follower reach the flight group, then release the run.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	close(results)
+	got := map[string]int{}
+	for r := range results {
+		got[r]++
+	}
+	if got["miss"] != 1 || got["shared"] != 1 {
+		t.Fatalf("outcomes = %v, want one miss and one shared", got)
+	}
+	if m := metricsOf(t, ts); m.RunsTotal != 1 {
+		t.Fatalf("runs_total = %d, want 1 (herd was not collapsed)", m.RunsTotal)
+	}
+}
+
+// TestServerTimeoutFreesWorker lets a request time out against a stuck run
+// and verifies 504 — and that the pool slot is usable again afterwards.
+func TestServerTimeoutFreesWorker(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 2})
+	// procs=4 wedges until its ctx ends (a run that would outlive any
+	// deadline); procs=8 completes instantly.
+	s.run = func(ctx context.Context, req Request) (core.Report, error) {
+		if req.Procs == 4 {
+			<-ctx.Done()
+			return core.Report{}, ctx.Err()
+		}
+		return core.Report{Machine: "instant", Procs: req.Procs, ExecSec: 1}, nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.sched.Close()
+
+	resp, err := http.Post(ts.URL+"/run?timeout_sec=0.05", "application/json",
+		strings.NewReader(`{"app":"fft","procs":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	// The stuck run saw its ctx end, so the pool slot must come free for
+	// the next (instant) request.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp2, body2 := postRun(t, ts, `{"app":"fft","procs":8}`)
+		if resp2.StatusCode != http.StatusOK {
+			t.Errorf("post-timeout: status %d: %s", resp2.StatusCode, body2)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker still occupied after request timeout")
+	}
+	if m := metricsOf(t, ts); m.CanceledTotal != 1 {
+		t.Fatalf("canceled_total = %d, want 1", m.CanceledTotal)
+	}
+}
+
+// TestServerErrorsAreNotCached verifies a failed run is retried fresh, not
+// served from cache.
+func TestServerErrorsAreNotCached(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 2})
+	calls := 0
+	s.run = func(ctx context.Context, req Request) (core.Report, error) {
+		calls++
+		if calls == 1 {
+			return core.Report{}, fmt.Errorf("transient failure")
+		}
+		return core.Report{Machine: "ok", Procs: req.Procs, ExecSec: 1}, nil
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.sched.Close()
+
+	resp1, _ := postRun(t, ts, `{"app":"fft","procs":4}`)
+	if resp1.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("first: status %d, want 500", resp1.StatusCode)
+	}
+	resp2, _ := postRun(t, ts, `{"app":"fft","procs":4}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("retry: status %d, want 200", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("X-Pario-Cache"); got != "miss" {
+		t.Fatalf("retry served %q, want a fresh miss", got)
+	}
+	if m := metricsOf(t, ts); m.ErrorTotal != 1 || m.RunsTotal != 2 {
+		t.Fatalf("error/runs = %d/%d, want 1/2", m.ErrorTotal, m.RunsTotal)
+	}
+}
+
+// TestServerBadRequests pins the 400 surface.
+func TestServerBadRequests(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.sched.Close()
+	for _, body := range []string{
+		`{"app":"warp"}`,
+		`{"app":"scf11","input":"HUGE"}`,
+		`{"app":"scf11","version":"turbo"}`,
+		`{"app":"btio","procs":5}`,
+		`{"app":"scf30","cached_pct":150}`,
+		`{"app":"fft","unknown_field":1}`,
+		`not json`,
+	} {
+		resp, _ := postRun(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	if m := metricsOf(t, ts); m.BadRequestTotal != 7 {
+		t.Fatalf("bad_request_total = %d, want 7", m.BadRequestTotal)
+	}
+}
+
+// TestServerGracefulShutdownDrains starts a slow request over a real
+// listener, shuts the server down mid-flight, and verifies the in-flight
+// response arrives complete before Shutdown returns.
+func TestServerGracefulShutdownDrains(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 2})
+	started := make(chan string, 1)
+	release := make(chan struct{})
+	s.run = fakeRun(started, release)
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr.String()
+
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/run", "application/json",
+			strings.NewReader(`{"app":"ast","procs":4}`))
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		b, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		done <- result{status: resp.StatusCode, body: b, err: err}
+	}()
+	<-started // the run occupies the worker
+
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(shutCtx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	res := <-done
+	if res.err != nil {
+		t.Fatalf("in-flight request truncated by shutdown: %v", res.err)
+	}
+	if res.status != http.StatusOK {
+		t.Fatalf("in-flight request: status %d: %s", res.status, res.body)
+	}
+	var r Result
+	if err := json.Unmarshal(res.body, &r); err != nil {
+		t.Fatalf("in-flight response body truncated: %v", err)
+	}
+	// The listener is closed: new connections fail.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still accepting connections after Shutdown")
+	}
+}
+
+// TestServerHealthz pins the health endpoint's OK shape.
+func TestServerHealthz(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status = %q", h.Status)
+	}
+	s.sched.Close()
+	// Draining flag flips healthz to 503.
+	s.draining.Store(true)
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status %d, want 503", resp2.StatusCode)
+	}
+}

@@ -22,6 +22,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -56,9 +57,22 @@ type Engine struct {
 	procSeq uint64    // spawn-order ids, for deterministic teardown
 	workers []*worker // parked resume machinery reusable by the next Spawn
 
+	// Interrupt state. intrCheck, when set, is polled every intrStride
+	// events by the dispatch loop; a non-nil return aborts the run (see
+	// SetInterrupt). intrErr carries the abort cause from whichever
+	// goroutine was dispatching back to Run.
+	intrCheck func() error
+	intrErr   error
+
 	metrics *stats.Registry
 	wallSec float64 // real time spent inside Run
 }
+
+// intrStride is how many events run between interrupt polls: large enough
+// that the poll (one predictable branch plus, every stride, one atomic load
+// inside context.Context.Err) is invisible next to event dispatch, small
+// enough that cancellation lands within microseconds of simulated work.
+const intrStride = 1024
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
@@ -85,6 +99,23 @@ func (e *Engine) WallSec() float64 { return e.wallSec }
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
+
+// SetInterrupt installs check, polled by the event loop every few hundred
+// events (and before the first). When check returns a non-nil error the run
+// aborts: Run kills all live processes, stops the engine, and returns the
+// error wrapped in ErrInterrupted. check must be safe to call from whichever
+// goroutine holds the event-loop baton — context.Context.Err is the intended
+// value. A nil check clears the hook. Must not be called while Run is
+// executing.
+func (e *Engine) SetInterrupt(check func() error) {
+	e.intrCheck = check
+}
+
+// ErrInterrupted is wrapped around the error returned by an interrupt check
+// that aborted a Run, so callers can distinguish cancellation from
+// deadlock. The check's own error (e.g. context.DeadlineExceeded) is in the
+// chain too.
+var ErrInterrupted = errors.New("sim: run interrupted")
 
 // Events returns the number of events executed so far — the kernel's work
 // metric for performance reporting.
@@ -207,6 +238,15 @@ const (
 // is what makes an uncontended Delay allocation- and switch-free.
 func (e *Engine) dispatch(self *Proc, w *worker) dispatchOutcome {
 	for {
+		if e.executed%intrStride == 0 && e.intrCheck != nil && e.intrErr == nil {
+			if err := e.intrCheck(); err != nil {
+				// Abort the stretch as if the queue drained; the baton
+				// finds its way back to Run, which sees intrErr and tears
+				// the simulation down.
+				e.intrErr = err
+				return dispatchDrained
+			}
+		}
 		ev, ok := e.next()
 		if !ok {
 			return dispatchDrained
@@ -281,6 +321,15 @@ func (e *Engine) Run() error {
 		e.fatal = nil
 		panic(f)
 	case dispatchDrained:
+	}
+	if e.intrErr != nil {
+		// An interrupt check aborted the run. Tear the simulation down
+		// exactly like Stop: the remaining events can never legitimately
+		// fire and the caller gets the cause, not a deadlock report.
+		err := e.intrErr
+		e.intrErr = nil
+		e.Stop()
+		return fmt.Errorf("%w: %w", ErrInterrupted, err)
 	}
 	if len(e.live) > 0 {
 		procs := e.liveInSpawnOrder(e.current)

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestInterruptAbortsRun installs a check that trips after a few polls and
+// verifies the run aborts with the check's error instead of running the
+// (otherwise unbounded) simulation to completion.
+func TestInterruptAbortsRun(t *testing.T) {
+	e := NewEngine()
+	cause := errors.New("deadline")
+	polls := 0
+	e.SetInterrupt(func() error {
+		polls++
+		if polls > 2 {
+			return cause
+		}
+		return nil
+	})
+	e.Spawn("looper", func(p *Proc) {
+		for {
+			p.Delay(1)
+		}
+	})
+	err := e.Run()
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("err = %v, does not wrap the check's error", err)
+	}
+	// Interrupting stops the engine like Stop: no reuse.
+	if err := e.Run(); err == nil {
+		t.Fatal("Run on interrupted engine succeeded")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Spawn on interrupted engine did not panic")
+			}
+		}()
+		e.Spawn("late", func(*Proc) {})
+	}()
+}
+
+// TestInterruptBeforeFirstEvent verifies the check is polled before any
+// event fires, so an already-expired context never starts simulating.
+func TestInterruptBeforeFirstEvent(t *testing.T) {
+	e := NewEngine()
+	cause := errors.New("already canceled")
+	e.SetInterrupt(func() error { return cause })
+	e.Spawn("never", func(p *Proc) { p.Delay(1) })
+	if err := e.Run(); !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want the pre-run cancellation", err)
+	}
+	if e.Events() != 0 {
+		t.Fatalf("%d events executed before an already-tripped interrupt", e.Events())
+	}
+}
+
+// TestInterruptCleared verifies a cleared hook costs nothing: the run
+// completes normally.
+func TestInterruptCleared(t *testing.T) {
+	e := NewEngine()
+	e.SetInterrupt(func() error { return errors.New("boom") })
+	e.SetInterrupt(nil)
+	done := false
+	e.Spawn("p", func(p *Proc) {
+		p.Delay(1)
+		done = true
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("process did not finish")
+	}
+}
+
+// TestInterruptTripsMidRun verifies a long stream of events is cut off
+// within one poll stride of the check tripping — many blocked processes are
+// reaped, and the clock stops advancing.
+func TestInterruptTripsMidRun(t *testing.T) {
+	e := NewEngine()
+	var fired error
+	e.SetInterrupt(func() error { return fired })
+	for i := 0; i < 8; i++ {
+		e.Spawn("w", func(p *Proc) {
+			for {
+				p.Delay(1)
+				if p.Now() >= 10 {
+					// Trip the interrupt from inside the simulation; the
+					// engine must notice within intrStride events.
+					fired = errors.New("tripped")
+				}
+			}
+		})
+	}
+	err := e.Run()
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if e.Now() < 10 || e.Now() > 10+float64(intrStride) {
+		t.Fatalf("clock at %g, want shortly after 10", e.Now())
+	}
+}
