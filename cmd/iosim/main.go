@@ -10,6 +10,7 @@
 //	iosim -app btio -procs 16 -class A -opt
 //	iosim -app ast -procs 32 -ionodes 64 -opt
 //	iosim -app fft -procs 8 -json        # the pariod wire encoding
+//	iosim -app ast -procs 16 -faults "disk:0:degrade=8@t=0.5s..2s;retry=4"
 //
 // -json emits the exact request/report encoding the pariod service serves
 // (one shared codec in internal/serve), so CLI and server outputs are
@@ -36,13 +37,14 @@ func main() {
 		version  = flag.String("version", "original", "scf11 version: original | passion | prefetch")
 		cached   = flag.Int("cached", 90, "scf30: % of integrals cached on disk (0 selects the default)")
 		class    = flag.String("class", "A", "btio class: A | B")
+		faults   = flag.String("faults", "", `fault plan, e.g. "disk:0:degrade=8@t=1.5s..4s;retry=4" (see internal/fault)`)
 		jsonFlag = flag.Bool("json", false, "emit the pariod service's JSON encoding instead of the text report")
 	)
 	flag.Parse()
 
-	req, rep, err := run(*app, *procs, *ionodes, *opt, *input, *version, *cached, *class)
+	req, rep, err := run(*app, *procs, *ionodes, *opt, *input, *version, *cached, *class, *faults)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "iosim: %v\n", err)
+		fmt.Fprintf(os.Stderr, "iosim: %v (%s)\n", err, core.ErrorClass(err))
 		os.Exit(1)
 	}
 	if *jsonFlag {
@@ -67,7 +69,7 @@ func main() {
 // run canonicalizes the flag tuple into a serve.Request and executes it
 // through the service's shared path, so iosim answers exactly what pariod
 // would serve for the same configuration.
-func run(app string, procs, ionodes int, opt bool, input, version string, cached int, class string) (serve.Request, core.Report, error) {
+func run(app string, procs, ionodes int, opt bool, input, version string, cached int, class, faults string) (serve.Request, core.Report, error) {
 	req, err := serve.Canonicalize(serve.Request{
 		App:       app,
 		Procs:     procs,
@@ -77,6 +79,7 @@ func run(app string, procs, ionodes int, opt bool, input, version string, cached
 		Version:   version,
 		CachedPct: cached,
 		Class:     class,
+		Faults:    faults,
 	})
 	if err != nil {
 		return serve.Request{}, core.Report{}, err

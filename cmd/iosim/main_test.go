@@ -25,7 +25,7 @@ func TestRunApps(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			req, rep, err := run(c.app, 4, 0, c.opt, "SMALL", "original", 90, "A")
+			req, rep, err := run(c.app, 4, 0, c.opt, "SMALL", "original", 90, "A", "")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -46,13 +46,13 @@ func TestRunApps(t *testing.T) {
 }
 
 func TestRunRejectsBadConfig(t *testing.T) {
-	if _, _, err := run("nope", 4, 0, false, "SMALL", "original", 90, "A"); err == nil {
+	if _, _, err := run("nope", 4, 0, false, "SMALL", "original", 90, "A", ""); err == nil {
 		t.Fatal("unknown app accepted")
 	}
-	if _, _, err := run("scf11", 4, 0, false, "HUGE", "original", 90, "A"); err == nil {
+	if _, _, err := run("scf11", 4, 0, false, "HUGE", "original", 90, "A", ""); err == nil {
 		t.Fatal("unknown input accepted")
 	}
-	if _, _, err := run("scf11", 4, 0, false, "SMALL", "turbo", 90, "A"); err == nil {
+	if _, _, err := run("scf11", 4, 0, false, "SMALL", "turbo", 90, "A", ""); err == nil {
 		t.Fatal("unknown version accepted")
 	}
 }
@@ -61,7 +61,7 @@ func TestRunRejectsBadConfig(t *testing.T) {
 // is the service codec verbatim, so for one configuration the daemon's
 // response body and iosim -json are byte-identical.
 func TestJSONOutputMatchesService(t *testing.T) {
-	req, rep, err := run("scf11", 4, 0, false, "SMALL", "original", 90, "A")
+	req, rep, err := run("scf11", 4, 0, false, "SMALL", "original", 90, "A", "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"pario/internal/core"
+	"pario/internal/fault"
 	"pario/internal/machine"
 	"pario/internal/ooc"
 	"pario/internal/pfs"
@@ -42,7 +43,10 @@ const (
 type Config struct {
 	// Ctx, when non-nil, bounds the run: cancellation tears the
 	// simulation down promptly (see core.System.RunRanksCtx).
-	Ctx     context.Context
+	Ctx context.Context
+	// Faults, when non-nil, schedules the plan's injections on the run
+	// and enables PFS client resilience (see core.System.InstallFaults).
+	Faults  *fault.Plan
 	Machine *machine.Config
 	Procs   int
 	// N is the square array dimension; the paper's "reasonably large
@@ -94,6 +98,9 @@ func Run(cfg Config) (core.Report, error) {
 	}
 	sys, err := core.NewSystem(cfg.Machine, cfg.Procs)
 	if err != nil {
+		return core.Report{}, err
+	}
+	if err := sys.InstallFaults(cfg.Faults); err != nil {
 		return core.Report{}, err
 	}
 	layout := pfs.Layout{StripeUnit: cfg.Machine.DefaultStripeUnit, StripeFactor: sys.FS.NumIONodes()}

@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"pario/internal/core"
+	"pario/internal/fault"
 	"pario/internal/machine"
 	"pario/internal/ooc"
 	"pario/internal/pfs"
@@ -64,7 +65,10 @@ const (
 type Config struct {
 	// Ctx, when non-nil, bounds the run: cancellation tears the
 	// simulation down promptly (see core.System.RunRanksCtx).
-	Ctx     context.Context
+	Ctx context.Context
+	// Faults, when non-nil, schedules the plan's injections on the run
+	// and enables PFS client resilience (see core.System.InstallFaults).
+	Faults  *fault.Plan
 	Machine *machine.Config
 	// Procs must be a perfect square (BT requirement).
 	Procs int
@@ -124,6 +128,9 @@ func Run(cfg Config) (core.Report, error) {
 	}
 	sys, err := core.NewSystem(cfg.Machine, cfg.Procs)
 	if err != nil {
+		return core.Report{}, err
+	}
+	if err := sys.InstallFaults(cfg.Faults); err != nil {
 		return core.Report{}, err
 	}
 	n := cfg.Class.N

@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"pario/internal/core"
+	"pario/internal/fault"
 	"pario/internal/machine"
 	"pario/internal/ooc"
 	"pario/internal/pfs"
@@ -39,7 +40,10 @@ func fftFlops(n int64) float64 {
 type Config struct {
 	// Ctx, when non-nil, bounds the run: cancellation tears the
 	// simulation down promptly (see core.System.RunRanksCtx).
-	Ctx     context.Context
+	Ctx context.Context
+	// Faults, when non-nil, schedules the plan's injections on the run
+	// and enables PFS client resilience (see core.System.InstallFaults).
+	Faults  *fault.Plan
 	Machine *machine.Config
 	Procs   int
 	// N is the array dimension; the paper's 1.5 GB total I/O corresponds
@@ -82,6 +86,9 @@ func Run(cfg Config) (core.Report, error) {
 	}
 	sys, err := core.NewSystem(cfg.Machine, cfg.Procs)
 	if err != nil {
+		return core.Report{}, err
+	}
+	if err := sys.InstallFaults(cfg.Faults); err != nil {
 		return core.Report{}, err
 	}
 	nio := sys.FS.NumIONodes()

@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"pario/internal/core"
+	"pario/internal/fault"
 	"pario/internal/machine"
 	"pario/internal/pfs"
 	"pario/internal/pio"
@@ -131,7 +132,10 @@ func (v Version) String() string {
 type Config11 struct {
 	// Ctx, when non-nil, bounds the run: cancellation tears the
 	// simulation down promptly (see core.System.RunRanksCtx).
-	Ctx     context.Context
+	Ctx context.Context
+	// Faults, when non-nil, schedules the plan's injections on the run
+	// and enables PFS client resilience (see core.System.InstallFaults).
+	Faults  *fault.Plan
 	Machine *machine.Config
 	Input   Input
 	Version Version
@@ -170,6 +174,9 @@ func Run11(cfg Config11) (core.Report, error) {
 	}
 	sys, err := core.NewSystem(cfg.Machine, cfg.Procs)
 	if err != nil {
+		return core.Report{}, err
+	}
+	if err := sys.InstallFaults(cfg.Faults); err != nil {
 		return core.Report{}, err
 	}
 
@@ -303,7 +310,10 @@ func Run11(cfg Config11) (core.Report, error) {
 type Config30 struct {
 	// Ctx, when non-nil, bounds the run: cancellation tears the
 	// simulation down promptly (see core.System.RunRanksCtx).
-	Ctx     context.Context
+	Ctx context.Context
+	// Faults, when non-nil, schedules the plan's injections on the run
+	// and enables PFS client resilience (see core.System.InstallFaults).
+	Faults  *fault.Plan
 	Machine *machine.Config
 	Input   Input
 	Procs   int
@@ -336,6 +346,9 @@ func Run30(cfg Config30) (core.Report, error) {
 	}
 	sys, err := core.NewSystem(cfg.Machine, cfg.Procs)
 	if err != nil {
+		return core.Report{}, err
+	}
+	if err := sys.InstallFaults(cfg.Faults); err != nil {
 		return core.Report{}, err
 	}
 

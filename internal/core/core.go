@@ -14,6 +14,9 @@ import (
 	"errors"
 	"fmt"
 
+	"pario/internal/disk"
+	"pario/internal/fault"
+	"pario/internal/ionode"
 	"pario/internal/machine"
 	"pario/internal/mp"
 	"pario/internal/network"
@@ -71,6 +74,38 @@ func NewSystem(cfg *machine.Config, procs int) (*System, error) {
 		s.Recorders = append(s.Recorders, trace.NewRecorder())
 	}
 	return s, nil
+}
+
+// InstallFaults schedules a fault plan's injections on the system and —
+// because a faulted run without client resilience would fail-stop on the
+// first transient — enables the PFS resilience defaults (2 retries, 1 ms
+// initial backoff, no timeout), overridden by whatever policy knobs the
+// plan sets. A nil or empty plan changes nothing: no events, no extra
+// metrics, byte-identical output. Call it after NewSystem and before the
+// run starts.
+func (s *System) InstallFaults(pl *fault.Plan) error {
+	if pl.Empty() {
+		return nil
+	}
+	nodes := make([]*ionode.Node, s.FS.NumIONodes())
+	for i := range nodes {
+		nodes[i] = s.FS.IONode(i)
+	}
+	if err := pl.Install(s.Eng, s.Net, nodes); err != nil {
+		return err
+	}
+	r := pfs.Resilience{Retries: 2, BackoffSec: 1e-3}
+	if pl.Policy.HasRetries {
+		r.Retries = pl.Policy.Retries
+	}
+	if pl.Policy.HasTimeout {
+		r.TimeoutSec = pl.Policy.TimeoutSec
+	}
+	if pl.Policy.HasBackoff {
+		r.BackoffSec = pl.Policy.BackoffSec
+	}
+	s.FS.SetResilience(r)
+	return nil
 }
 
 // DefaultLayout returns a layout using the machine's default stripe unit
@@ -151,6 +186,29 @@ func (s *System) RunRanksCtx(ctx context.Context, body func(p *sim.Proc, rank in
 		}
 	}
 	return wall, nil
+}
+
+// ErrorClass maps a run error to the stable failure taxonomy shared by the
+// degraded-mode artifact and pariod's /metrics: "ok" (nil), "disk_failed",
+// "ionode_crashed", "io_timeout", "canceled", "deadlock", or "internal"
+// for anything unrecognized.
+func ErrorClass(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	case errors.Is(err, disk.ErrFailed):
+		return "disk_failed"
+	case errors.Is(err, ionode.ErrCrashed):
+		return "ionode_crashed"
+	case errors.Is(err, pfs.ErrRequestTimeout):
+		return "io_timeout"
+	case errors.Is(err, sim.ErrDeadlock):
+		return "deadlock"
+	default:
+		return "internal"
+	}
 }
 
 // Report is the outcome of one application run.

@@ -13,12 +13,18 @@
 package disk
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"pario/internal/sim"
 	"pario/internal/stats"
 )
+
+// ErrFailed is the cause returned by Access while the drive is failed
+// (an injected outage). Callers match it with errors.Is through whatever
+// wrapping the upper layers add.
+var ErrFailed = errors.New("disk: drive failed")
 
 // Params holds the drive cost model.
 type Params struct {
@@ -59,9 +65,21 @@ type Stats struct {
 type Disk struct {
 	eng  *sim.Engine
 	res  *sim.Resource
+	name string
 	par  Params
 	head int64
 	st   Stats
+
+	// Fault state. mult scales every service-time component (1 = healthy)
+	// and is applied at service time, so the cost model in par is never
+	// mutated and Restore recovers the healthy drive exactly. failed makes
+	// requests error at service time (an injected outage).
+	mult   float64
+	failed bool
+	// mFailed counts requests refused while failed. It is registered
+	// lazily on the first fault call so that fault-free runs carry no
+	// fault metrics (the golden outputs stay byte-identical).
+	mFailed *stats.Counter
 
 	// Metric handles into the engine's registry; all drives of a run feed
 	// the same named metrics, so they aggregate system-wide.
@@ -78,7 +96,8 @@ func New(eng *sim.Engine, name string, par Params) (*Disk, error) {
 	}
 	reg := eng.Metrics()
 	return &Disk{
-		eng: eng, res: sim.NewResource(eng, name, 1), par: par,
+		eng: eng, res: sim.NewResource(eng, name, 1), name: name, par: par,
+		mult:        1,
 		mSeeks:      reg.Counter("disk.seeks"),
 		mBytesRead:  reg.Counter("disk.bytes_read"),
 		mBytesWrite: reg.Counter("disk.bytes_written"),
@@ -113,12 +132,23 @@ func (d *Disk) ServiceTime(off, size int64) float64 {
 }
 
 // Access performs one request, blocking p for queueing plus service time.
-// It updates the head to the end of the accessed range.
-func (d *Disk) Access(p *sim.Proc, off, size int64, write bool) {
+// It updates the head to the end of the accessed range. While the drive is
+// failed (SetFailed/an injected outage) the request reaches the head of the
+// queue and then errors with ErrFailed without consuming service time —
+// fail-stop, not fail-slow.
+func (d *Disk) Access(p *sim.Proc, off, size int64, write bool) error {
 	if off < 0 || size < 0 {
 		panic(fmt.Sprintf("disk: bad request off=%d size=%d", off, size))
 	}
 	d.res.Acquire(p)
+	if d.failed {
+		d.res.Release()
+		if d.mFailed == nil {
+			d.mFailed = d.eng.Metrics().Counter("disk.failed_requests")
+		}
+		d.mFailed.Inc()
+		return fmt.Errorf("%s: %w", d.name, ErrFailed)
+	}
 	// Service time is computed under the resource: the head position seen
 	// is the one left by the previous request, so interleaved streams from
 	// different processes genuinely disturb each other.
@@ -127,6 +157,9 @@ func (d *Disk) Access(p *sim.Proc, off, size int64, write bool) {
 		svc += s
 		d.st.Seeks++
 		d.mSeeks.Inc()
+	}
+	if d.mult != 1 {
+		svc *= d.mult
 	}
 	d.head = off + size
 	if write {
@@ -142,20 +175,61 @@ func (d *Disk) Access(p *sim.Proc, off, size int64, write bool) {
 	d.mSvcTime.Observe(svc * 1e6)
 	p.Delay(svc)
 	d.res.Release()
+	return nil
 }
 
-// Degrade multiplies the drive's service costs (overhead, seeks, transfer)
-// by factor — fault injection for a failing or throttled spindle. Factors
-// below 1 model an upgrade. Requests already queued are unaffected until
-// they reach service.
+// SetDegrade sets the absolute service-time multiplier — fault injection
+// for a failing or throttled spindle. The factor applies to every component
+// (overhead, seek, transfer) of requests that reach service while it is in
+// effect; requests already queued are unaffected until then. Factors below
+// 1 model an upgrade. Unlike the deprecated Degrade, repeated calls do not
+// compound: SetDegrade(8) twice is still 8x.
+func (d *Disk) SetDegrade(factor float64) {
+	if factor <= 0 {
+		panic("disk: degrade factor must be positive")
+	}
+	d.mult = factor
+}
+
+// Restore returns the drive to full health: multiplier 1, not failed.
+func (d *Disk) Restore() {
+	d.mult = 1
+	d.failed = false
+}
+
+// SetFailed marks the drive failed (requests error with ErrFailed) or
+// clears a previous failure without touching the degrade multiplier.
+func (d *Disk) SetFailed(failed bool) { d.failed = failed }
+
+// Failed reports whether the drive is currently failed.
+func (d *Disk) Failed() bool { return d.failed }
+
+// DegradeFactor returns the current service-time multiplier (1 = healthy).
+func (d *Disk) DegradeFactor() float64 { return d.mult }
+
+// Stall occupies the drive with a phantom request for dur seconds of
+// virtual time: real requests queue behind it exactly as behind a slow
+// sibling. Must be called with the engine running (from a process or a
+// scheduled event).
+func (d *Disk) Stall(dur float64) {
+	if dur < 0 {
+		panic("disk: negative stall")
+	}
+	d.eng.Spawn(d.name+".stall", func(w *sim.Proc) {
+		d.res.Use(w, dur)
+	})
+}
+
+// Degrade multiplies the current degrade factor — kept for compatibility.
+//
+// Deprecated: repeated calls compound and there is no way to recover the
+// healthy cost model from the result. Use SetDegrade/Restore, which hold an
+// absolute multiplier, instead.
 func (d *Disk) Degrade(factor float64) {
 	if factor <= 0 {
 		panic("disk: degrade factor must be positive")
 	}
-	d.par.RequestOverhead *= factor
-	d.par.SeekMin *= factor
-	d.par.SeekMax *= factor
-	d.par.ByteTime *= factor
+	d.mult *= factor
 }
 
 // Head returns the current head byte position.

@@ -1,6 +1,7 @@
 package disk
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -245,4 +246,89 @@ func TestDegradeBadFactorPanics(t *testing.T) {
 		}
 	}()
 	d.Degrade(0)
+}
+
+// TestSetDegradeRestoreExact pins the degrade→restore regression: the old
+// Degrade multiplied the factor in place, so a repair implemented as
+// Degrade(1/f) drifted off baseline by floating-point residue. SetDegrade
+// is absolute and Restore returns the multiplier to exactly 1, so a
+// repaired disk's service times are bit-identical to a never-degraded one.
+func TestSetDegradeRestoreExact(t *testing.T) {
+	e, d := newDisk(t)
+	var base, repaired float64
+	e.Spawn("u", func(p *sim.Proc) {
+		s := p.Now()
+		d.Access(p, 0, 123457, false)
+		base = p.Now() - s
+		d.SetDegrade(7)
+		d.SetDegrade(3) // absolute, not compounding
+		if got := d.DegradeFactor(); got != 3 {
+			t.Errorf("DegradeFactor = %g, want 3", got)
+		}
+		d.Restore()
+		s = p.Now()
+		d.Access(p, 123457, 123457, false) // sequential: same service time
+		repaired = p.Now() - s
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if repaired != base {
+		t.Fatalf("post-restore access %g != baseline %g (degrade state leaked)", repaired, base)
+	}
+}
+
+// The deprecated wrapper keeps its historical compounding semantics.
+func TestDeprecatedDegradeCompounds(t *testing.T) {
+	_, d := newDisk(t)
+	d.Degrade(2)
+	d.Degrade(3)
+	if got := d.DegradeFactor(); got != 6 {
+		t.Fatalf("DegradeFactor = %g, want 6 (Degrade compounds in place)", got)
+	}
+	d.Restore()
+	if got := d.DegradeFactor(); got != 1 {
+		t.Fatalf("DegradeFactor after Restore = %g, want 1", got)
+	}
+}
+
+func TestStallBlocksAccess(t *testing.T) {
+	e, d := newDisk(t)
+	d.Stall(0.5) // phantom request occupying the drive from t=0
+	var done float64
+	e.Spawn("u", func(p *sim.Proc) {
+		d.Access(p, 0, 1000, false)
+		done = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	par := testParams()
+	want := 0.5 + par.RequestOverhead + 1000*par.ByteTime
+	if !almost(done, want) {
+		t.Fatalf("access behind a 0.5s stall finished at %g, want %g", done, want)
+	}
+}
+
+func TestFailedDiskErrorsUntilRestored(t *testing.T) {
+	e, d := newDisk(t)
+	var failErr, okErr error
+	e.Spawn("u", func(p *sim.Proc) {
+		d.SetFailed(true)
+		failErr = d.Access(p, 0, 1000, false)
+		d.SetFailed(false)
+		okErr = d.Access(p, 0, 1000, false)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(failErr, ErrFailed) {
+		t.Fatalf("failed-disk access returned %v, want ErrFailed", failErr)
+	}
+	if okErr != nil {
+		t.Fatalf("restored-disk access returned %v", okErr)
+	}
+	if d.Failed() {
+		t.Fatal("Failed() still true after SetFailed(false)")
+	}
 }

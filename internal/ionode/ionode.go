@@ -15,12 +15,18 @@
 package ionode
 
 import (
+	"errors"
 	"fmt"
 
 	"pario/internal/disk"
 	"pario/internal/sim"
 	"pario/internal/stats"
 )
+
+// ErrCrashed is the cause returned by Access while the node is crashed
+// (an injected fault). Callers match it with errors.Is through whatever
+// wrapping the upper layers add.
+var ErrCrashed = errors.New("ionode: node crashed")
 
 // Params configures an I/O node.
 type Params struct {
@@ -57,6 +63,12 @@ type Node struct {
 	cacheSpace *sim.Signal // re-armed whenever space frees
 
 	requests int64
+
+	// crashed makes Access error immediately with ErrCrashed — an injected
+	// node failure. mDropped counts those refusals; it is registered lazily
+	// on the first crash so fault-free runs carry no fault metrics.
+	crashed  bool
+	mDropped *stats.Counter
 
 	// Metric handles. All I/O nodes of a run share them by name, so
 	// mInflight/mQDepth track the system-wide outstanding-request level —
@@ -106,10 +118,20 @@ func (n *Node) Requests() int64 { return n.requests }
 
 // Access services one request against drive diskIdx at the given
 // drive-local offset. Reads always wait for the disk. Writes go through the
-// write-behind cache when one is configured.
-func (n *Node) Access(p *sim.Proc, diskIdx int, off, size int64, write bool) {
+// write-behind cache when one is configured. While the node is crashed the
+// request is refused immediately with ErrCrashed, before any accounting —
+// a dead server does not queue work. A failed backing disk surfaces as the
+// disk's error.
+func (n *Node) Access(p *sim.Proc, diskIdx int, off, size int64, write bool) error {
 	if diskIdx < 0 || diskIdx >= len(n.disks) {
 		panic(fmt.Sprintf("ionode %s: disk index %d out of range", n.name, diskIdx))
+	}
+	if n.crashed {
+		if n.mDropped == nil {
+			n.mDropped = n.eng.Metrics().Counter("ionode.dropped_requests")
+		}
+		n.mDropped.Inc()
+		return fmt.Errorf("%s: %w", n.name, ErrCrashed)
 	}
 	n.requests++
 	n.mRequests.Inc()
@@ -123,9 +145,9 @@ func (n *Node) Access(p *sim.Proc, diskIdx int, off, size int64, write bool) {
 	}
 	d := n.disks[diskIdx]
 	if !write || n.par.CacheBytes == 0 {
-		d.Access(p, off, size, write)
+		err := d.Access(p, off, size, write)
 		n.mQDepth.Observe(n.eng.Now(), float64(n.mInflight.Add(-1)))
-		return
+		return err
 	}
 	// Write-behind: wait for cache space, copy in, schedule async drain.
 	for n.dirty+size > n.par.CacheBytes && n.dirty > 0 {
@@ -140,12 +162,47 @@ func (n *Node) Access(p *sim.Proc, diskIdx int, off, size int64, write bool) {
 		p.Delay(c)
 	}
 	n.eng.Spawn(n.name+".drain", func(w *sim.Proc) {
-		d.Access(w, off, size, true)
+		if err := d.Access(w, off, size, true); err != nil {
+			// The client already saw the write complete into the cache;
+			// losing the drain is unreported data loss, so it fail-stops
+			// the run rather than vanishing.
+			w.Abort(fmt.Errorf("ionode %s: write-behind drain: %w", n.name, err))
+		}
 		n.dirty -= size
 		n.mQDepth.Observe(n.eng.Now(), float64(n.mInflight.Add(-1)))
 		if n.cacheSpace != nil && !n.cacheSpace.Fired() {
 			n.cacheSpace.Fire()
 		}
+	})
+	return nil
+}
+
+// Crash marks the node crashed: every subsequent Access errors with
+// ErrCrashed until Recover. Requests already inside the node (queued on the
+// CPU or a disk) complete normally — the crash refuses new work rather than
+// rewriting history.
+func (n *Node) Crash() { n.crashed = true }
+
+// Recover clears a crash and restores every backing drive to full health.
+func (n *Node) Recover() {
+	n.crashed = false
+	for _, d := range n.disks {
+		d.Restore()
+	}
+}
+
+// Crashed reports whether the node is currently crashed.
+func (n *Node) Crashed() bool { return n.crashed }
+
+// Stall occupies the node's CPU with a phantom request for dur seconds of
+// virtual time: real requests queue behind it — a garbage-collection pause
+// or RAID rebuild on the server. Must be called with the engine running.
+func (n *Node) Stall(dur float64) {
+	if dur < 0 {
+		panic("ionode: negative stall")
+	}
+	n.eng.Spawn(n.name+".stall", func(w *sim.Proc) {
+		n.cpu.Use(w, dur)
 	})
 }
 

@@ -1,6 +1,7 @@
 package ionode
 
 import (
+	"errors"
 	"testing"
 
 	"pario/internal/disk"
@@ -228,5 +229,94 @@ func TestRequestCounter(t *testing.T) {
 	}
 	if n.Requests() != 5 {
 		t.Fatalf("Requests = %d, want 5", n.Requests())
+	}
+}
+
+func TestCrashDropsRequestsUntilRecover(t *testing.T) {
+	e, n := newNode(t, testParams())
+	var crashErr, okErr error
+	e.Spawn("u", func(p *sim.Proc) {
+		n.Crash()
+		crashErr = n.Access(p, 0, 0, 1000, false)
+		n.Recover()
+		okErr = n.Access(p, 0, 0, 1000, false)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(crashErr, ErrCrashed) {
+		t.Fatalf("crashed-node access returned %v, want ErrCrashed", crashErr)
+	}
+	if okErr != nil {
+		t.Fatalf("recovered-node access returned %v", okErr)
+	}
+	if n.Crashed() {
+		t.Fatal("Crashed() still true after Recover")
+	}
+}
+
+// Recover repairs the node's backing disks too: a crash window that also
+// failed a drive ends in one restorative action.
+func TestRecoverRestoresDisks(t *testing.T) {
+	e, n := newNode(t, testParams())
+	var errBefore, errAfter error
+	e.Spawn("u", func(p *sim.Proc) {
+		n.Disk(0).SetFailed(true)
+		n.Disk(0).SetDegrade(8)
+		errBefore = n.Access(p, 0, 0, 1000, false)
+		n.Recover()
+		errAfter = n.Access(p, 0, 0, 1000, false)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(errBefore, disk.ErrFailed) {
+		t.Fatalf("access on failed drive returned %v, want disk.ErrFailed", errBefore)
+	}
+	if errAfter != nil {
+		t.Fatalf("access after Recover returned %v", errAfter)
+	}
+	if f := n.Disk(0).DegradeFactor(); f != 1 {
+		t.Fatalf("DegradeFactor after Recover = %g, want 1", f)
+	}
+}
+
+func TestNodeStallDelaysService(t *testing.T) {
+	e, n := newNode(t, testParams())
+	n.Stall(0.25) // phantom request pinning the node CPU from t=0
+	var done float64
+	e.Spawn("u", func(p *sim.Proc) {
+		n.Access(p, 0, 0, 1000, false)
+		done = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	par := testParams()
+	min := 0.25 + par.ServerOverhead + par.Disk.RequestOverhead + 1000*par.Disk.ByteTime
+	if done < min {
+		t.Fatalf("access behind a 0.25s node stall finished at %g, want >= %g", done, min)
+	}
+}
+
+// A write absorbed by the write-behind cache whose drain then hits a failed
+// drive must fail-stop the run: silently losing dirty data would corrupt
+// the measurement.
+func TestWriteBehindDrainFailureAborts(t *testing.T) {
+	par := testParams()
+	par.CacheBytes = 1 << 20
+	e, n := newNode(t, par)
+	e.Spawn("u", func(p *sim.Proc) {
+		n.Disk(0).SetFailed(true)
+		if err := n.Access(p, 0, 0, 1000, true); err != nil {
+			t.Errorf("cached write returned %v before the drain ran", err)
+		}
+	})
+	err := e.Run()
+	if err == nil {
+		t.Fatal("run with a failed drain completed cleanly")
+	}
+	if !errors.Is(err, disk.ErrFailed) {
+		t.Fatalf("run error %v does not wrap disk.ErrFailed", err)
 	}
 }

@@ -45,6 +45,11 @@ type Network struct {
 	par  Params
 	nics []*sim.Resource
 
+	// slow scales every wire cost (latency, hop, byte time) — link
+	// degradation injected by a fault plan. 1 = healthy. Node-local memory
+	// copies are unaffected: a slow interconnect does not slow memcpy.
+	slow float64
+
 	msgs      int64
 	bytesSent int64
 
@@ -59,7 +64,7 @@ func New(eng *sim.Engine, topo *topology.Topology, par Params) (*Network, error)
 		return nil, err
 	}
 	reg := eng.Metrics()
-	n := &Network{eng: eng, topo: topo, par: par,
+	n := &Network{eng: eng, topo: topo, par: par, slow: 1,
 		mMsgs:   reg.Counter("net.msgs"),
 		mBytes:  reg.Counter("net.bytes"),
 		mStalls: reg.Counter("net.stalls"),
@@ -97,6 +102,11 @@ func (n *Network) Send(p *sim.Proc, src, dst int, size int64) {
 	}
 	hops := n.topo.Hops(src, dst)
 	setup := n.par.Latency + float64(hops)*n.par.HopTime
+	xfer := float64(size) * n.par.ByteTime
+	if n.slow != 1 {
+		setup *= n.slow
+		xfer *= n.slow
+	}
 	if setup > 0 {
 		p.Delay(setup)
 	}
@@ -107,8 +117,22 @@ func (n *Network) Send(p *sim.Proc, src, dst int, size int64) {
 	if nic.InUse() >= nic.Cap() {
 		n.mStalls.Inc()
 	}
-	nic.Use(p, float64(size)*n.par.ByteTime)
+	nic.Use(p, xfer)
 }
+
+// SetSlowdown sets the absolute wire-cost multiplier — fault injection for
+// a congested or flapping interconnect. 1 restores full speed. Transfers
+// already in progress are unaffected; the factor applies from the next
+// Send. Node-local memory copies never scale.
+func (n *Network) SetSlowdown(factor float64) {
+	if factor <= 0 {
+		panic("network: slowdown factor must be positive")
+	}
+	n.slow = factor
+}
+
+// Slowdown returns the current wire-cost multiplier (1 = healthy).
+func (n *Network) Slowdown() float64 { return n.slow }
 
 // TransferTime returns the uncontended time for a message, for analytic
 // estimates and tests.
@@ -117,7 +141,11 @@ func (n *Network) TransferTime(src, dst int, size int64) float64 {
 		return float64(size) * n.par.MemCopyByteTime
 	}
 	hops := n.topo.Hops(src, dst)
-	return n.par.Latency + float64(hops)*n.par.HopTime + float64(size)*n.par.ByteTime
+	t := n.par.Latency + float64(hops)*n.par.HopTime + float64(size)*n.par.ByteTime
+	if n.slow != 1 {
+		t *= n.slow
+	}
+	return t
 }
 
 // NIC exposes a node's interface resource (for contention statistics).

@@ -17,6 +17,7 @@
 package pfs
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -25,6 +26,57 @@ import (
 	"pario/internal/sim"
 	"pario/internal/stats"
 )
+
+// ErrNotExist is wrapped into Lookup's error for unknown names, so callers
+// can distinguish "missing" from an I/O failure with errors.Is.
+var ErrNotExist = errors.New("pfs: file does not exist")
+
+// ErrRequestTimeout is wrapped into a chunk error when a request exceeds
+// the configured per-request timeout.
+var ErrRequestTimeout = errors.New("pfs: request timed out")
+
+// Resilience configures client-side fault handling. The zero value (no
+// timeout, no retries) reproduces the historical fail-stop-on-first-error
+// behaviour.
+type Resilience struct {
+	// TimeoutSec bounds one request attempt in virtual seconds; zero
+	// disables the timeout. A timed-out attempt is abandoned, not
+	// cancelled: it keeps occupying the network and disk resources it
+	// queued on, exactly as a real straggler would.
+	TimeoutSec float64
+	// Retries is how many times a failed or timed-out attempt is retried
+	// before the operation aborts the run.
+	Retries int
+	// BackoffSec is the delay before the first retry, doubling on each
+	// subsequent one — deterministic exponential backoff in virtual time.
+	BackoffSec float64
+}
+
+// IOError is the structured failure of one file-system operation after all
+// retries are exhausted. It is the cause passed to sim.Proc.Abort, so it
+// surfaces from Engine.Run wrapped in sim.ErrAborted with the underlying
+// device error still matchable via errors.Is/As.
+type IOError struct {
+	Op       string  // "read" or "write"
+	Node     int     // FS-local I/O node index
+	Attempts int     // attempts made, including the first
+	Time     float64 // virtual time of the final failure
+	Err      error   // last underlying cause
+}
+
+func (e *IOError) Error() string {
+	return fmt.Sprintf("pfs: %s on io%d failed after %d attempt(s) at t=%.6gs: %v",
+		e.Op, e.Node, e.Attempts, e.Time, e.Err)
+}
+
+func (e *IOError) Unwrap() error { return e.Err }
+
+func opName(write bool) string {
+	if write {
+		return "write"
+	}
+	return "read"
+}
 
 // Layout is a file's striping description.
 type Layout struct {
@@ -84,6 +136,15 @@ type FS struct {
 	nodeGlobal []int   // topology index of each I/O node
 	nextFree   []int64 // bump allocator per node (byte offset on its drives)
 	files      map[string]*File
+
+	// resil, when set, turns device errors into timeout/retry/backoff
+	// handling instead of immediate fail-stop. Its counters are registered
+	// by SetResilience (never in New) so that runs without resilience carry
+	// no extra metrics and the fault-free goldens stay byte-identical.
+	resil     *Resilience
+	mRetries  *stats.Counter
+	mTimeouts *stats.Counter
+	mAborted  *stats.Counter
 
 	mTransfers *stats.Counter
 	mChunks    *stats.Counter
@@ -180,8 +241,32 @@ func (fs *FS) Create(name string, layout Layout, sizeHint int64) (*File, error) 
 	return f, nil
 }
 
-// Lookup returns a previously created file, or nil.
-func (fs *FS) Lookup(name string) *File { return fs.files[name] }
+// Lookup returns a previously created file, or an error wrapping
+// ErrNotExist for unknown names.
+func (fs *FS) Lookup(name string) (*File, error) {
+	f := fs.files[name]
+	if f == nil {
+		return nil, fmt.Errorf("%q: %w", name, ErrNotExist)
+	}
+	return f, nil
+}
+
+// SetResilience enables client-side timeout/retry handling for all
+// subsequent transfers and registers the pfs.retries / pfs.timeouts /
+// pfs.aborted_ops counters.
+func (fs *FS) SetResilience(r Resilience) {
+	if r.TimeoutSec < 0 || r.Retries < 0 || r.BackoffSec < 0 {
+		panic(fmt.Sprintf("pfs: invalid resilience %+v", r))
+	}
+	fs.resil = &r
+	reg := fs.eng.Metrics()
+	fs.mRetries = reg.Counter("pfs.retries")
+	fs.mTimeouts = reg.Counter("pfs.timeouts")
+	fs.mAborted = reg.Counter("pfs.aborted_ops")
+}
+
+// Resilience returns the active policy, or nil when fail-stop.
+func (fs *FS) Resilience() *Resilience { return fs.resil }
 
 // nodeShare returns the node-local bytes needed to hold a file of total
 // bytes under this layout.
@@ -329,22 +414,109 @@ func (f *File) Transfer(p *sim.Proc, clientNode int, off, size int64, write bool
 	wg.Wait(p)
 }
 
-// serveNode performs an ordered chunk list against one I/O node.
+// serveNode performs an ordered chunk list against one I/O node. A chunk
+// that still fails after the resilience policy is exhausted fail-stops the
+// run with a structured IOError — never a panic.
 func (f *File) serveNode(p *sim.Proc, clientNode int, list []Chunk, write bool) {
-	fs := f.fs
 	for _, c := range list {
-		global := fs.nodeGlobal[c.Node]
-		nd := fs.nodes[c.Node]
-		if write {
-			// Data travels with the request to the I/O node.
-			fs.net.Send(p, clientNode, global, RequestMsgBytes+c.Len)
-			nd.Access(p, c.Disk, c.DiskOff, c.Len, true)
-		} else {
-			fs.net.Send(p, clientNode, global, RequestMsgBytes)
-			nd.Access(p, c.Disk, c.DiskOff, c.Len, false)
-			fs.net.Send(p, global, clientNode, c.Len)
+		if err := f.chunkResilient(p, clientNode, c, write); err != nil {
+			p.Abort(err)
 		}
 	}
+}
+
+// doChunk performs one chunk end-to-end: request message, device access,
+// and (for reads) the data reply. It returns the device error, if any.
+func (f *File) doChunk(p *sim.Proc, clientNode int, c Chunk, write bool) error {
+	fs := f.fs
+	global := fs.nodeGlobal[c.Node]
+	nd := fs.nodes[c.Node]
+	if write {
+		// Data travels with the request to the I/O node.
+		fs.net.Send(p, clientNode, global, RequestMsgBytes+c.Len)
+		return nd.Access(p, c.Disk, c.DiskOff, c.Len, true)
+	}
+	fs.net.Send(p, clientNode, global, RequestMsgBytes)
+	if err := nd.Access(p, c.Disk, c.DiskOff, c.Len, false); err != nil {
+		return err
+	}
+	fs.net.Send(p, global, clientNode, c.Len)
+	return nil
+}
+
+// attemptChunk runs one attempt of a chunk under the per-request timeout.
+// The attempt executes in a child process racing a timer on a shared
+// signal: whichever settles first decides the outcome, and the loser sees
+// the settled flag and stands down. The attempt child is spawned before the
+// timer, so a tie resolves to success — deterministically, in virtual time.
+// An abandoned (timed-out) attempt keeps running: it still holds whatever
+// queue positions it reached, as a real straggler request would.
+func (f *File) attemptChunk(p *sim.Proc, clientNode int, c Chunk, write bool) error {
+	r := f.fs.resil
+	if r == nil || r.TimeoutSec <= 0 {
+		return f.doChunk(p, clientNode, c, write)
+	}
+	eng := p.Engine()
+	sig := sim.NewSignal(eng)
+	var (
+		settled  bool
+		timedOut bool
+		res      error
+	)
+	eng.Spawn("pfs.attempt", func(w *sim.Proc) {
+		err := f.doChunk(w, clientNode, c, write)
+		if !settled {
+			settled, res = true, err
+			sig.Fire()
+		}
+	})
+	eng.Spawn("pfs.timer", func(w *sim.Proc) {
+		w.Delay(r.TimeoutSec)
+		if !settled {
+			settled, timedOut = true, true
+			sig.Fire()
+		}
+	})
+	p.WaitSignal(sig)
+	if timedOut {
+		f.fs.mTimeouts.Inc()
+		return fmt.Errorf("%w after %gs (%s io%d)",
+			ErrRequestTimeout, r.TimeoutSec, opName(write), c.Node)
+	}
+	return res
+}
+
+// chunkResilient drives one chunk through the retry policy. Without a
+// policy it is a single fail-stop attempt. With one, each failure or
+// timeout is retried up to Retries times behind exponential backoff; only
+// exhaustion yields the structured IOError.
+func (f *File) chunkResilient(p *sim.Proc, clientNode int, c Chunk, write bool) error {
+	fs := f.fs
+	attempts := 1
+	if r := fs.resil; r != nil {
+		attempts = r.Retries + 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			fs.mRetries.Inc()
+			if back := fs.resil.BackoffSec * float64(int64(1)<<uint(i-1)); back > 0 {
+				p.Delay(back)
+			}
+		}
+		err := f.attemptChunk(p, clientNode, c, write)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+	}
+	if fs.mAborted == nil {
+		// Fail-stop without a policy: register the counter now, on the
+		// faulted path only, so healthy runs never list it.
+		fs.mAborted = fs.eng.Metrics().Counter("pfs.aborted_ops")
+	}
+	fs.mAborted.Inc()
+	return &IOError{Op: opName(write), Node: c.Node, Attempts: attempts, Time: p.Now(), Err: lastErr}
 }
 
 // TopologyIndexOf returns the global topology index of FS I/O node i.

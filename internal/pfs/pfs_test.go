@@ -1,6 +1,7 @@
 package pfs
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -317,8 +318,8 @@ func TestRecreateDifferentLayoutIsFresh(t *testing.T) {
 	if g == f {
 		t.Fatal("layout change must not reuse the old file")
 	}
-	if fs.Lookup("a") != g {
-		t.Fatal("Lookup does not return the re-created file")
+	if got, err := fs.Lookup("a"); err != nil || got != g {
+		t.Fatalf("Lookup = %v, %v; want the re-created file", got, err)
 	}
 }
 
@@ -370,11 +371,15 @@ func TestLocalToDiskStable(t *testing.T) {
 func TestLookup(t *testing.T) {
 	_, fs := newFS(t, 2)
 	f, _ := fs.Create("a", Layout{StripeUnit: 100, StripeFactor: 1, FirstNode: 0}, 0)
-	if fs.Lookup("a") != f {
-		t.Fatal("Lookup failed")
+	if got, err := fs.Lookup("a"); err != nil || got != f {
+		t.Fatalf("Lookup = %v, %v; want the created file", got, err)
 	}
-	if fs.Lookup("missing") != nil {
-		t.Fatal("Lookup of missing file returned non-nil")
+	got, err := fs.Lookup("missing")
+	if got != nil {
+		t.Fatal("Lookup of missing file returned non-nil file")
+	}
+	if !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Lookup of missing file: err = %v, want ErrNotExist", err)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"pario/internal/apps/fft"
 	"pario/internal/apps/scf"
 	"pario/internal/core"
+	"pario/internal/fault"
 	"pario/internal/machine"
 )
 
@@ -18,6 +19,15 @@ import (
 // execution path shared by the daemon and cmd/iosim, so both produce the
 // same report for the same request.
 func Execute(ctx context.Context, req Request) (core.Report, error) {
+	var pl *fault.Plan
+	if req.Faults != "" {
+		var err error
+		if pl, err = fault.Parse(req.Faults); err != nil {
+			// Canonicalize already validated the spec; a parse failure here
+			// means the request skipped canonicalization.
+			return core.Report{}, err
+		}
+	}
 	switch req.App {
 	case "scf11":
 		m, err := machine.ParagonLarge(req.IONodes)
@@ -35,7 +45,7 @@ func Execute(ctx context.Context, req Request) (core.Report, error) {
 			return core.Report{}, fmt.Errorf("serve: unknown version %q", req.Version)
 		}
 		return scf.Run11(scf.Config11{
-			Ctx: ctx, Machine: m, Input: scfInput(req.Input), Procs: req.Procs, Version: v,
+			Ctx: ctx, Faults: pl, Machine: m, Input: scfInput(req.Input), Procs: req.Procs, Version: v,
 		})
 	case "scf30":
 		m, err := machine.ParagonLarge(req.IONodes)
@@ -43,7 +53,7 @@ func Execute(ctx context.Context, req Request) (core.Report, error) {
 			return core.Report{}, err
 		}
 		return scf.Run30(scf.Config30{
-			Ctx: ctx, Machine: m, Input: scfInput(req.Input), Procs: req.Procs,
+			Ctx: ctx, Faults: pl, Machine: m, Input: scfInput(req.Input), Procs: req.Procs,
 			CachedPct: req.CachedPct, Balance: true,
 		})
 	case "fft":
@@ -51,7 +61,7 @@ func Execute(ctx context.Context, req Request) (core.Report, error) {
 		if err != nil {
 			return core.Report{}, err
 		}
-		return fft.Run(fft.Config{Ctx: ctx, Machine: m, Procs: req.Procs, OptimizedLayout: req.Opt})
+		return fft.Run(fft.Config{Ctx: ctx, Faults: pl, Machine: m, Procs: req.Procs, OptimizedLayout: req.Opt})
 	case "btio":
 		m, err := machine.SP2()
 		if err != nil {
@@ -61,13 +71,13 @@ func Execute(ctx context.Context, req Request) (core.Report, error) {
 		if req.Class == "B" {
 			cls = btio.ClassB
 		}
-		return btio.Run(btio.Config{Ctx: ctx, Machine: m, Procs: req.Procs, Class: cls, Collective: req.Opt})
+		return btio.Run(btio.Config{Ctx: ctx, Faults: pl, Machine: m, Procs: req.Procs, Class: cls, Collective: req.Opt})
 	case "ast":
 		m, err := machine.ParagonLarge(req.IONodes)
 		if err != nil {
 			return core.Report{}, err
 		}
-		return ast.Run(ast.Config{Ctx: ctx, Machine: m, Procs: req.Procs, Optimized: req.Opt})
+		return ast.Run(ast.Config{Ctx: ctx, Faults: pl, Machine: m, Procs: req.Procs, Optimized: req.Opt})
 	default:
 		return core.Report{}, fmt.Errorf("serve: unknown app %q", req.App)
 	}

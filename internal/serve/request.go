@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"strings"
 
+	"pario/internal/fault"
 	"pario/internal/machine"
 )
 
@@ -45,6 +46,11 @@ type Request struct {
 	CachedPct int `json:"cached_pct,omitempty"`
 	// Class is the btio problem class: A or B.
 	Class string `json:"class,omitempty"`
+	// Faults is a fault-plan DSL string (see internal/fault): injections
+	// and resilience policy scheduled at exact virtual times. Empty means
+	// a healthy run. The plan is canonicalized into the cache key, so a
+	// degraded run can never alias a healthy one.
+	Faults string `json:"faults,omitempty"`
 }
 
 // scf11Versions is the request-level version vocabulary. Opt folds into
@@ -144,6 +150,16 @@ func Canonicalize(req Request) (Request, error) {
 		c.Opt = req.Opt
 	default:
 		return Request{}, fmt.Errorf("serve: unknown app %q (scf11|scf30|fft|btio|ast)", req.App)
+	}
+	if req.Faults != "" {
+		pl, err := fault.Parse(req.Faults)
+		if err != nil {
+			return Request{}, err
+		}
+		// The canonical DSL rendering keys the cache: "200ms" and "0.2s"
+		// fold onto one entry, while any injection at all keeps the key
+		// distinct from the healthy run's.
+		c.Faults = pl.String()
 	}
 	return c, nil
 }

@@ -26,8 +26,21 @@ type Scheduler struct {
 	jobs   chan *schedJob
 	wg     sync.WaitGroup
 
-	inFlight atomic.Int64
+	// state packs the queued count (high 32 bits) and the in-flight count
+	// (low 32 bits) into one word, so dequeueing moves a job between the
+	// two gauges in a single atomic add — there is no instant at which an
+	// accepted job is invisible to both QueueDepth and InFlight, and a
+	// poller can never observe an idle service with work pending.
+	state     atomic.Uint64
+	doneCount atomic.Int64
 }
+
+// One job in the queued (high) word of Scheduler.state.
+const queuedOne = uint64(1) << 32
+
+// dequeueDelta moves one job from queued to in-flight in a single add:
+// -1 in the high word, +1 in the low.
+const dequeueDelta = ^(queuedOne - 1) | 1
 
 type schedJob struct {
 	ctx  context.Context
@@ -57,14 +70,18 @@ func NewScheduler(workers, depth int) *Scheduler {
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
 	for j := range s.jobs {
-		s.inFlight.Add(1)
+		s.state.Add(dequeueDelta)
 		if err := j.ctx.Err(); err != nil {
 			j.err = err // canceled while queued: free the slot immediately
 		} else {
 			j.body, j.err = j.fn(j.ctx)
 		}
 		close(j.done)
-		s.inFlight.Add(-1)
+		// Count the job done before dropping it from in-flight: the sum
+		// queued+inflight+done may transiently exceed the submitted count,
+		// but never undercounts it.
+		s.doneCount.Add(1)
+		s.state.Add(^uint64(0)) // in-flight - 1
 	}
 }
 
@@ -80,10 +97,14 @@ func (s *Scheduler) Submit(ctx context.Context, fn func(ctx context.Context) ([]
 		s.mu.Unlock()
 		return nil, ErrDraining
 	}
+	// The job joins the queued gauge before it is visible to a worker, so
+	// the worker's dequeue decrement can never race it below zero.
+	s.state.Add(queuedOne)
 	select {
 	case s.jobs <- j:
 		s.mu.Unlock()
 	default:
+		s.state.Add(^(queuedOne - 1)) // queued - 1: admission refused
 		s.mu.Unlock()
 		return nil, ErrBusy
 	}
@@ -95,11 +116,16 @@ func (s *Scheduler) Submit(ctx context.Context, fn func(ctx context.Context) ([]
 	}
 }
 
-// QueueDepth returns the number of jobs waiting for a worker.
-func (s *Scheduler) QueueDepth() int { return len(s.jobs) }
+// QueueDepth returns the number of admitted jobs not yet taken by a
+// worker.
+func (s *Scheduler) QueueDepth() int { return int(s.state.Load() >> 32) }
 
 // InFlight returns the number of jobs currently occupying workers.
-func (s *Scheduler) InFlight() int64 { return s.inFlight.Load() }
+func (s *Scheduler) InFlight() int64 { return int64(s.state.Load() & (queuedOne - 1)) }
+
+// Done returns the number of jobs that have completed (including ones
+// skipped because their context ended while queued).
+func (s *Scheduler) Done() int64 { return s.doneCount.Load() }
 
 // Close stops admission, lets queued and running jobs finish, and returns
 // when every worker has exited: the drain half of graceful shutdown.

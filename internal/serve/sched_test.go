@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -189,4 +190,92 @@ func TestSchedulerConcurrentSubmitStress(t *testing.T) {
 		}(i)
 	}
 	wg.Wait()
+}
+
+// TestSchedulerGaugeInvariant pins the dequeue-visibility fix: a job moves
+// from the queued gauge to the in-flight gauge in one atomic step, so at a
+// stable point queued+inflight+done equals exactly the accepted submissions
+// and a poller can never observe an idle service with work pending.
+func TestSchedulerGaugeInvariant(t *testing.T) {
+	s := NewScheduler(1, 2)
+	defer s.Close()
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ { // one runs, two queue
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Submit(context.Background(), blockingRun(started, release)); err != nil {
+				t.Error(err)
+			}
+		}()
+		if i == 0 {
+			<-started // the first job occupies the worker
+		}
+	}
+	deadline := time.Now().Add(time.Second)
+	for s.QueueDepth() != 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if q, f, d := s.QueueDepth(), s.InFlight(), s.Done(); q != 2 || f != 1 || d != 0 {
+		t.Fatalf("stable state queued=%d inflight=%d done=%d, want 2/1/0", q, f, d)
+	}
+	go func() { <-started; <-started }() // free the queued jobs' start signals
+	close(release)
+	wg.Wait()
+	for (s.Done() != 3 || s.InFlight() != 0) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if q, f, d := s.QueueDepth(), s.InFlight(), s.Done(); q != 0 || f != 0 || d != 3 {
+		t.Fatalf("drained state queued=%d inflight=%d done=%d, want 0/0/3", q, f, d)
+	}
+}
+
+// TestSchedulerGaugeInvariantHammer samples the gauges while submissions
+// churn (run with -race): a job whose submitter has seen it complete is
+// always still visible in in-flight or already in done, so
+// queued+inflight+done can never fall below a completed count read first.
+// The pre-fix scheduler had a window between channel receive and the
+// in-flight increment where a job was in neither gauge.
+func TestSchedulerGaugeInvariantHammer(t *testing.T) {
+	s := NewScheduler(4, 16)
+	defer s.Close()
+	var completed atomic.Int64
+	stop := make(chan struct{})
+	var sampler sync.WaitGroup
+	sampler.Add(1)
+	go func() {
+		defer sampler.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c := completed.Load()
+			sum := int64(s.QueueDepth()) + s.InFlight() + s.Done()
+			if sum < c {
+				t.Errorf("queued+inflight+done = %d < completed %d: accepted work invisible", sum, c)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := s.Submit(context.Background(), func(context.Context) ([]byte, error) { return nil, nil })
+			if err == nil {
+				completed.Add(1)
+			} else if !errors.Is(err, ErrBusy) {
+				t.Errorf("submit: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	sampler.Wait()
 }

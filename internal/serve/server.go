@@ -86,6 +86,18 @@ type Server struct {
 	runEvents atomic.Uint64
 	runWallNs atomic.Int64
 
+	// runDurEWMA is an exponentially weighted moving average of recent run
+	// durations (real time, in ns), feeding the Retry-After estimate on
+	// 429s. Zero until the first run completes.
+	runDurEWMA atomic.Int64
+
+	// errClasses counts failed runs by core.ErrorClass, the failure
+	// taxonomy surfaced in structured 500 bodies and /metrics.
+	errClasses struct {
+		mu sync.Mutex
+		m  map[string]int64
+	}
+
 	sim struct {
 		mu   sync.Mutex
 		snap *stats.Snapshot
@@ -147,9 +159,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // runner, so run accounting (points, kernel events, wall time) follows the
 // same contract as the sweep harness.
 func (s *Server) runJob(ctx context.Context, req Request, key string) ([]byte, error) {
+	start := time.Now()
 	reps, st, err := exp.Map([]Request{req}, 1, func(r Request) (core.Report, error) {
 		return s.run(ctx, r)
 	})
+	s.recordRunDur(time.Since(start))
 	s.runs.Add(int64(st.Points))
 	s.runEvents.Add(st.Events)
 	s.runWallNs.Add(int64(st.WallSum))
@@ -191,6 +205,7 @@ func decodeRequest(r *http.Request) (Request, time.Duration, error) {
 		req.Input = q.Get("input")
 		req.Version = q.Get("version")
 		req.Class = q.Get("class")
+		req.Faults = q.Get("faults")
 		for name, dst := range map[string]*int{
 			"procs": &req.Procs, "ionodes": &req.IONodes, "cached_pct": &req.CachedPct,
 		} {
@@ -271,7 +286,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	case errors.Is(err, ErrBusy):
 		s.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSec()))
 		http.Error(w, "queue full, retry later", http.StatusTooManyRequests)
 	case errors.Is(err, ErrDraining):
 		http.Error(w, "server draining", http.StatusServiceUnavailable)
@@ -280,8 +295,71 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusGatewayTimeout)
 	default:
 		s.failed.Add(1)
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		class := core.ErrorClass(err)
+		s.countErrClass(class)
+		writeErrJSON(w, http.StatusInternalServerError, class, err)
 	}
+}
+
+// recordRunDur folds a completed run's duration into the moving average
+// behind Retry-After (weight 1/5 on the newest sample; the first sample
+// seeds the average).
+func (s *Server) recordRunDur(d time.Duration) {
+	for {
+		old := s.runDurEWMA.Load()
+		next := int64(d)
+		if old != 0 {
+			next = old - old/5 + int64(d)/5
+		}
+		if s.runDurEWMA.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterSec estimates when a shed request could plausibly be admitted:
+// the backlog ahead of it (queued plus in-flight) spread across the worker
+// pool at the recent mean run duration, rounded up and floored at 1s. With
+// no run history yet the floor stands alone.
+func (s *Server) retryAfterSec() int {
+	mean := time.Duration(s.runDurEWMA.Load())
+	if mean <= 0 {
+		return 1
+	}
+	backlog := int64(s.sched.QueueDepth()) + s.sched.InFlight()
+	est := time.Duration(backlog+1) * mean / time.Duration(s.opts.Workers)
+	sec := int((est + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+func (s *Server) countErrClass(class string) {
+	s.errClasses.mu.Lock()
+	if s.errClasses.m == nil {
+		s.errClasses.m = make(map[string]int64)
+	}
+	s.errClasses.m[class]++
+	s.errClasses.mu.Unlock()
+}
+
+// errorBody is the structured failure response: the error text plus its
+// stable taxonomy class, mirrored in /metrics' error_classes.
+type errorBody struct {
+	Error string `json:"error"`
+	Class string `json:"class"`
+}
+
+func writeErrJSON(w http.ResponseWriter, status int, class string, err error) {
+	b, mErr := json.Marshal(errorBody{Error: err.Error(), Class: class})
+	if mErr != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(append(b, '\n'))
 }
 
 // respond writes a run result body. source is hit (cache), miss (this
@@ -331,6 +409,14 @@ type Metrics struct {
 	RunEventsTotal  uint64  `json:"run_events_total"`
 	RunWallSecTotal float64 `json:"run_wall_sec_total"`
 
+	// RunMeanSec is the moving average of recent run durations (real time)
+	// that sizes Retry-After on 429 responses; 0 until a run completes.
+	RunMeanSec float64 `json:"run_mean_sec"`
+
+	// ErrorClasses breaks ErrorTotal down by core.ErrorClass taxonomy
+	// (disk_failed, ionode_crashed, io_timeout, deadlock, internal).
+	ErrorClasses map[string]int64 `json:"error_classes,omitempty"`
+
 	// Sim is the stats.Snapshot merged over every fresh run served.
 	Sim *stats.Snapshot `json:"sim,omitempty"`
 }
@@ -358,7 +444,16 @@ func (s *Server) MetricsSnapshot() Metrics {
 		RunsTotal:       s.runs.Load(),
 		RunEventsTotal:  s.runEvents.Load(),
 		RunWallSecTotal: time.Duration(s.runWallNs.Load()).Seconds(),
+		RunMeanSec:      time.Duration(s.runDurEWMA.Load()).Seconds(),
 	}
+	s.errClasses.mu.Lock()
+	if len(s.errClasses.m) > 0 {
+		m.ErrorClasses = make(map[string]int64, len(s.errClasses.m))
+		for k, v := range s.errClasses.m {
+			m.ErrorClasses[k] = v
+		}
+	}
+	s.errClasses.mu.Unlock()
 	s.sim.mu.Lock()
 	if s.sim.snap != nil {
 		snap := *s.sim.snap

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -466,5 +467,148 @@ func TestServerHealthz(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("draining healthz status %d, want 503", resp2.StatusCode)
+	}
+}
+
+// TestRetryAfterGrowsUnderOverload pins the Retry-After satellite: the 429
+// hint is queue depth times the recent mean run duration spread over the
+// pool, not a hard-coded constant — slow runs and a deep backlog push it
+// up, fast runs bring it back to the 1s floor.
+func TestRetryAfterGrowsUnderOverload(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 2})
+	started := make(chan string, 4)
+	release := make(chan struct{})
+	s.run = fakeRun(started, release)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.sched.Close()
+
+	if got := s.retryAfterSec(); got != 1 {
+		t.Fatalf("idle, no history: retryAfterSec = %d, want the 1s floor", got)
+	}
+
+	// Distinct requests: one occupies the worker, two the queue slots.
+	var wg sync.WaitGroup
+	for _, procs := range []int{4, 9, 16} {
+		wg.Add(1)
+		go func(procs int) {
+			defer wg.Done()
+			resp, body := postRun(t, ts, fmt.Sprintf(`{"app":"btio","procs":%d}`, procs))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("procs %d: status %d: %s", procs, resp.StatusCode, body)
+			}
+		}(procs)
+	}
+	<-started
+	deadline := time.Now().Add(2 * time.Second)
+	for s.sched.QueueDepth() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	s.recordRunDur(10 * time.Second) // recent runs are slow
+	resp, _ := postRun(t, ts, `{"app":"btio","procs":25}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow: status %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q: %v", resp.Header.Get("Retry-After"), err)
+	}
+	// Backlog of 3 ahead plus this request, 10s mean, one worker.
+	if ra != 40 {
+		t.Fatalf("Retry-After = %d, want 40 (4 jobs x 10s / 1 worker)", ra)
+	}
+
+	// Fast runs shrink the estimate, but never below the floor.
+	s.runDurEWMA.Store(int64(10 * time.Millisecond))
+	resp2, _ := postRun(t, ts, `{"app":"btio","procs":36}`)
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second overflow: status %d, want 429", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("fast-run Retry-After = %q, want the 1s floor", got)
+	}
+
+	close(release)
+	wg.Wait()
+}
+
+// TestFaultSpecCanonicalizedIntoKey: equivalent fault-plan spellings fold
+// onto one cache entry, and any fault plan at all keys differently from the
+// healthy run — a degraded result can never be served for a healthy request
+// or vice versa.
+func TestFaultSpecCanonicalizedIntoKey(t *testing.T) {
+	a, err := Canonicalize(Request{App: "fft", Faults: "disk:0:degrade=8@t=1500ms..4s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Canonicalize(Request{App: "fft", Faults: "disk:0:degrade=8x@t=1.5s..4s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, err := Canonicalize(Request{App: "fft"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Faults != b.Faults || a.Key() != b.Key() {
+		t.Fatalf("equivalent plans canonicalized differently: %q vs %q", a.Faults, b.Faults)
+	}
+	if a.Key() == healthy.Key() {
+		t.Fatal("faulted request aliases the healthy cache entry")
+	}
+	if _, err := Canonicalize(Request{App: "fft", Faults: "disk:warp"}); err == nil {
+		t.Fatal("invalid fault spec accepted")
+	}
+}
+
+// TestServerFaultedRunTaxonomy drives a real simulation into a permanent
+// disk outage through the request schema and verifies the daemon's failure
+// surface: a structured 500 carrying the error-taxonomy class, the class
+// counted in /metrics, no panic, and no cache pollution — the healthy entry
+// stays served as healthy, the faulted key is never cached.
+func TestServerFaultedRunTaxonomy(t *testing.T) {
+	s := New(Options{Workers: 2, QueueDepth: 8})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.sched.Close()
+
+	respH, bodyH := postRun(t, ts, `{"app":"fft","procs":4}`)
+	if respH.StatusCode != http.StatusOK {
+		t.Fatalf("healthy: status %d: %s", respH.StatusCode, bodyH)
+	}
+
+	const faulted = `{"app":"fft","procs":4,"faults":"disk:0:fail@t=1ms;retry=1;backoff=1ms"}`
+	respF, bodyF := postRun(t, ts, faulted)
+	if respF.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("faulted: status %d: %s", respF.StatusCode, bodyF)
+	}
+	if respF.Header.Get("X-Pario-Cache") != "" {
+		t.Fatal("faulted request was served from cache")
+	}
+	if ct := respF.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("faulted 500 Content-Type = %q", ct)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(bodyF, &eb); err != nil {
+		t.Fatalf("faulted 500 body %q is not structured JSON: %v", bodyF, err)
+	}
+	if eb.Class != "disk_failed" || eb.Error == "" {
+		t.Fatalf("faulted 500 body = %+v, want class disk_failed with a message", eb)
+	}
+
+	// The healthy entry is still a healthy hit; the faulted key stays cold.
+	respH2, bodyH2 := postRun(t, ts, `{"app":"fft","procs":4}`)
+	if respH2.StatusCode != http.StatusOK || respH2.Header.Get("X-Pario-Cache") != "hit" {
+		t.Fatalf("healthy after fault: status %d cache %q", respH2.StatusCode, respH2.Header.Get("X-Pario-Cache"))
+	}
+	if !bytes.Equal(bodyH, bodyH2) {
+		t.Fatal("healthy body changed after a faulted run")
+	}
+	m := metricsOf(t, ts)
+	if m.ErrorClasses["disk_failed"] != 1 {
+		t.Fatalf("error_classes = %v, want disk_failed:1", m.ErrorClasses)
+	}
+	if m.RunsTotal != 2 {
+		t.Fatalf("runs_total = %d, want 2 (healthy + faulted attempt)", m.RunsTotal)
 	}
 }

@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestAbortReturnsCause pins the fail-stop contract: a process aborting
+// mid-run stops the event loop promptly, the remaining processes are
+// killed, and Run returns the cause wrapped in ErrAborted.
+func TestAbortReturnsCause(t *testing.T) {
+	eng := NewEngine()
+	cause := errors.New("disk 3 on fire")
+	var survivorRan bool
+	eng.Spawn("victim", func(p *Proc) {
+		p.Delay(1)
+		p.Abort(cause)
+		t.Error("Abort returned")
+	})
+	eng.Spawn("bystander", func(p *Proc) {
+		p.Delay(5)
+		survivorRan = true
+	})
+	err := eng.Run()
+	if !errors.Is(err, ErrAborted) {
+		t.Fatalf("Run() = %v, want ErrAborted", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Fatalf("Run() = %v, want cause in chain", err)
+	}
+	if survivorRan {
+		t.Error("bystander ran past the abort point")
+	}
+	if got := eng.Now(); got != 1 {
+		t.Errorf("clock = %g, want 1 (abort instant)", got)
+	}
+}
+
+// TestAbortStopsEngine: after an aborted run the engine behaves like a
+// stopped one — Spawn panics, Run errors.
+func TestAbortStopsEngine(t *testing.T) {
+	eng := NewEngine()
+	eng.Spawn("victim", func(p *Proc) { p.Abort(errors.New("boom")) })
+	if err := eng.Run(); !errors.Is(err, ErrAborted) {
+		t.Fatalf("Run() = %v, want ErrAborted", err)
+	}
+	if err := eng.Run(); err == nil {
+		t.Error("second Run on aborted engine succeeded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Spawn on aborted engine did not panic")
+		}
+	}()
+	eng.Spawn("late", func(p *Proc) {})
+}
+
+// TestAbortFirstCauseWins: once a run is aborted nothing else fires, so
+// the first Abort in virtual-time order determines the outcome.
+func TestAbortFirstCauseWins(t *testing.T) {
+	eng := NewEngine()
+	first := errors.New("first")
+	eng.Spawn("a", func(p *Proc) {
+		p.Delay(1)
+		p.Abort(first)
+	})
+	eng.Spawn("b", func(p *Proc) {
+		p.Delay(2)
+		p.Abort(errors.New("second"))
+	})
+	err := eng.Run()
+	if !errors.Is(err, first) {
+		t.Fatalf("Run() = %v, want the earlier cause", err)
+	}
+}
+
+// TestAbortFromChildProc: an abort from a process spawned inside another
+// process (the pfs chunk-server shape) unwinds everything, including the
+// blocked parent.
+func TestAbortFromChildProc(t *testing.T) {
+	eng := NewEngine()
+	cause := errors.New("child failed")
+	eng.Spawn("parent", func(p *Proc) {
+		child := eng.Spawn("child", func(c *Proc) {
+			c.Delay(1)
+			c.Abort(cause)
+		})
+		p.Join(child)
+		t.Error("parent resumed past aborted child")
+	})
+	if err := eng.Run(); !errors.Is(err, cause) {
+		t.Fatalf("Run() = %v, want cause", err)
+	}
+}
+
+// TestAbortNilCause: a nil cause is replaced, never a nil error from Run.
+func TestAbortNilCause(t *testing.T) {
+	eng := NewEngine()
+	eng.Spawn("p", func(p *Proc) { p.Abort(nil) })
+	if err := eng.Run(); err == nil {
+		t.Fatal("Run() = nil after Abort(nil)")
+	}
+}

@@ -64,6 +64,12 @@ type Engine struct {
 	intrCheck func() error
 	intrErr   error
 
+	// abortErr is the fail-stop cause recorded by Proc.Abort: the first
+	// abort of a run wins, the dispatch loop stops promptly, and Run
+	// returns the cause wrapped in ErrAborted after tearing the simulation
+	// down. Nil on every healthy run.
+	abortErr error
+
 	metrics *stats.Registry
 	wallSec float64 // real time spent inside Run
 }
@@ -116,6 +122,17 @@ func (e *Engine) SetInterrupt(check func() error) {
 // deadlock. The check's own error (e.g. context.DeadlineExceeded) is in the
 // chain too.
 var ErrInterrupted = errors.New("sim: run interrupted")
+
+// ErrAborted is wrapped around the cause passed to Proc.Abort, so callers
+// can distinguish a model-level fail-stop (an injected disk outage, an
+// exhausted retry budget) from deadlock or cancellation. The cause itself
+// stays in the chain for errors.Is/As matching.
+var ErrAborted = errors.New("sim: run aborted")
+
+// ErrDeadlock is wrapped into Run's error when the event queue drains with
+// processes still blocked, so callers can classify the outcome without
+// string matching.
+var ErrDeadlock = errors.New("sim: deadlock")
 
 // Events returns the number of events executed so far — the kernel's work
 // metric for performance reporting.
@@ -238,6 +255,11 @@ const (
 // is what makes an uncontended Delay allocation- and switch-free.
 func (e *Engine) dispatch(self *Proc, w *worker) dispatchOutcome {
 	for {
+		if e.abortErr != nil {
+			// A process fail-stopped the run: fire nothing further, return
+			// the baton toward Run, which tears the simulation down.
+			return dispatchDrained
+		}
 		if e.executed%intrStride == 0 && e.intrCheck != nil && e.intrErr == nil {
 			if err := e.intrCheck(); err != nil {
 				// Abort the stretch as if the queue drained; the baton
@@ -322,6 +344,15 @@ func (e *Engine) Run() error {
 		panic(f)
 	case dispatchDrained:
 	}
+	if e.abortErr != nil {
+		// A process fail-stopped the run (Proc.Abort). Tear the simulation
+		// down exactly like Stop and surface the structured cause: a fault
+		// that exhausted its retry budget is an outcome, not a deadlock.
+		err := e.abortErr
+		e.abortErr = nil
+		e.Stop()
+		return fmt.Errorf("%w: %w", ErrAborted, err)
+	}
 	if e.intrErr != nil {
 		// An interrupt check aborted the run. Tear the simulation down
 		// exactly like Stop: the remaining events can never legitimately
@@ -339,8 +370,8 @@ func (e *Engine) Run() error {
 		}
 		n := len(procs)
 		e.killAll()
-		return fmt.Errorf("sim: deadlock, %d process(es) still blocked: [%s]",
-			n, strings.Join(names, " "))
+		return fmt.Errorf("%w, %d process(es) still blocked: [%s]",
+			ErrDeadlock, n, strings.Join(names, " "))
 	}
 	return nil
 }

@@ -181,6 +181,21 @@ func (p *Proc) Join(q *Proc) {
 	p.WaitSignal(q.ExitSignal())
 }
 
+// Abort fail-stops the run: err is recorded as the run's outcome (the
+// first Abort of a run wins), this process unwinds immediately, the event
+// loop fires nothing further, and Run returns err wrapped in ErrAborted
+// after killing the remaining processes — the structured-error alternative
+// to panicking out of a model layer. Abort never returns.
+func (p *Proc) Abort(err error) {
+	if err == nil {
+		err = errors.New("sim: Abort with nil cause")
+	}
+	if p.eng.abortErr == nil {
+		p.eng.abortErr = err
+	}
+	panic(errKilled)
+}
+
 // WaitSignal blocks until s fires. If s has already fired it returns
 // immediately.
 func (p *Proc) WaitSignal(s *Signal) {

@@ -1,0 +1,96 @@
+#!/bin/sh
+# chaossmoke.sh — end-to-end smoke of pariod's degraded-mode surface.
+#
+# Usage:
+#   scripts/chaossmoke.sh
+#
+# Builds pariod, starts it on an ephemeral port, then walks the fault
+# contract the load smoke leaves untouched:
+#   1. a healthy run fills the cache as usual
+#   2. a degraded (but survivable) run is a distinct cache entry: its own
+#      key, its own miss->hit cycle, a body that differs from the healthy one
+#   3. a permanent-outage run answers a structured 500 carrying the error
+#      taxonomy class (disk_failed), with no X-Pario-Cache header: failures
+#      are never cached
+#   4. the healthy entry is still served as a byte-identical hit afterwards,
+#      and runs_total shows the failed attempts actually simulated
+#   5. /metrics breaks the failures down by class in error_classes
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "chaossmoke: building..."
+go build -o "$tmp/pariod" ./cmd/pariod
+
+"$tmp/pariod" -addr 127.0.0.1:0 >"$tmp/pariod.log" 2>&1 &
+daemon_pid=$!
+
+base=""
+for _ in $(seq 1 100); do
+    base=$(sed -n 's,^pariod: listening on \(http://[^ ]*\)$,\1,p' "$tmp/pariod.log")
+    [ -n "$base" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { cat "$tmp/pariod.log"; echo "chaossmoke: FAIL: daemon died on startup"; exit 1; }
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "chaossmoke: FAIL: daemon never bound"; exit 1; }
+echo "chaossmoke: daemon up at $base"
+
+runs() { curl -fsS "$base/metrics" | sed -n 's/.*"runs_total": *\([0-9]*\).*/\1/p'; }
+
+# 1. Healthy baseline.
+healthy='{"app":"fft","procs":4}'
+curl -fsS -D "$tmp/hh" -o "$tmp/bh" -H 'Content-Type: application/json' -d "$healthy" "$base/run"
+grep -qi '^x-pario-cache: miss' "$tmp/hh" || { echo "chaossmoke: FAIL: healthy cold run was not a miss"; exit 1; }
+healthy_key=$(sed -n 's/^[Xx]-[Pp]ario-[Kk]ey: *//p' "$tmp/hh" | tr -d '\r')
+
+# 2. Survivable degradation: separate cache entry, separate key.
+degraded='{"app":"fft","procs":4,"faults":"disk:degrade=4@t=0;retry=2"}'
+curl -fsS -D "$tmp/hd1" -o "$tmp/bd1" -H 'Content-Type: application/json' -d "$degraded" "$base/run"
+grep -qi '^x-pario-cache: miss' "$tmp/hd1" || { echo "chaossmoke: FAIL: degraded cold run was not a miss"; exit 1; }
+degraded_key=$(sed -n 's/^[Xx]-[Pp]ario-[Kk]ey: *//p' "$tmp/hd1" | tr -d '\r')
+[ "$degraded_key" != "$healthy_key" ] || { echo "chaossmoke: FAIL: degraded request shares the healthy cache key"; exit 1; }
+cmp -s "$tmp/bh" "$tmp/bd1" && { echo "chaossmoke: FAIL: degraded body identical to healthy body"; exit 1; }
+curl -fsS -D "$tmp/hd2" -o "$tmp/bd2" -H 'Content-Type: application/json' -d "$degraded" "$base/run"
+grep -qi '^x-pario-cache: hit' "$tmp/hd2" || { echo "chaossmoke: FAIL: degraded rerun was not a hit"; exit 1; }
+cmp -s "$tmp/bd1" "$tmp/bd2" || { echo "chaossmoke: FAIL: degraded rerun body differs"; exit 1; }
+echo "chaossmoke: degraded run is its own deterministic cache entry"
+
+# 3. Permanent outage: structured 500, taxonomy class, never cached.
+outage='{"app":"fft","procs":4,"faults":"disk:0:fail@t=1ms;retry=1;backoff=1ms"}'
+runs_before=$(runs)
+for i in 1 2; do
+    code=$(curl -sS -D "$tmp/hf$i" -o "$tmp/bf$i" -w '%{http_code}' \
+        -H 'Content-Type: application/json' -d "$outage" "$base/run")
+    [ "$code" = 500 ] || { echo "chaossmoke: FAIL: outage run $i answered $code, want 500"; cat "$tmp/bf$i"; exit 1; }
+    grep -qi '^x-pario-cache:' "$tmp/hf$i" && { echo "chaossmoke: FAIL: outage run $i served from cache"; exit 1; }
+    grep -q '"class":"disk_failed"' "$tmp/bf$i" || { echo "chaossmoke: FAIL: outage run $i body lacks taxonomy class"; cat "$tmp/bf$i"; exit 1; }
+done
+runs_after=$(runs)
+[ "$runs_after" = $((runs_before + 2)) ] || { echo "chaossmoke: FAIL: failed runs not re-attempted ($runs_before -> $runs_after)"; exit 1; }
+echo "chaossmoke: outage answers structured 500 (disk_failed), never cached"
+
+# 4. Healthy entry unharmed by the chaos.
+curl -fsS -D "$tmp/hh2" -o "$tmp/bh2" -H 'Content-Type: application/json' -d "$healthy" "$base/run"
+grep -qi '^x-pario-cache: hit' "$tmp/hh2" || { echo "chaossmoke: FAIL: healthy rerun was not a hit"; exit 1; }
+cmp -s "$tmp/bh" "$tmp/bh2" || { echo "chaossmoke: FAIL: healthy body changed after faulted runs"; exit 1; }
+
+# 5. /metrics carries the class breakdown.
+curl -fsS "$base/metrics" >"$tmp/metrics"
+grep -q '"disk_failed": *2' "$tmp/metrics" || {
+    echo "chaossmoke: FAIL: /metrics error_classes lacks disk_failed: 2"; cat "$tmp/metrics"; exit 1; }
+echo "chaossmoke: healthy cache entry intact, error taxonomy in /metrics"
+
+kill -TERM "$daemon_pid"
+rc=0
+wait "$daemon_pid" || rc=$?
+daemon_pid=""
+[ "$rc" = 0 ] || { echo "chaossmoke: FAIL: daemon exited $rc"; cat "$tmp/pariod.log"; exit 1; }
+echo "chaossmoke: OK"
