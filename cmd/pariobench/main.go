@@ -5,11 +5,18 @@
 // re-simulates: the number of simulations executed must equal exactly the
 // number of cache misses observed on the wire.
 //
+// With -sweep it instead drives the /sweep batch endpoint and verifies the
+// sweep contract: one streamed NDJSON line per expanded point, runs_total
+// moving by exactly the cold (miss) points, every embedded body
+// byte-identical to the same point served via /run, and a repeat sweep that
+// is all cache hits and re-simulates nothing.
+//
 // Usage:
 //
 //	pariobench                          # spawn an in-process server
 //	pariobench -addr 127.0.0.1:8080     # drive a running daemon
 //	pariobench -n 200 -c 16 -hot 0.9
+//	pariobench -sweep 'app=fft&procs=1,2,4&opt=both'
 package main
 
 import (
@@ -21,6 +28,8 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -35,10 +44,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pariobench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr = fs.String("addr", "", "daemon address; empty spawns an in-process server")
-		n    = fs.Int("n", 60, "total requests to fire")
-		c    = fs.Int("c", 8, "concurrent clients")
-		hot  = fs.Float64("hot", 0.8, "fraction of requests drawn from the small hot set")
+		addr  = fs.String("addr", "", "daemon address; empty spawns an in-process server")
+		n     = fs.Int("n", 60, "total requests to fire")
+		c     = fs.Int("c", 8, "concurrent clients")
+		hot   = fs.Float64("hot", 0.8, "fraction of requests drawn from the small hot set")
+		sweep = fs.String("sweep", "", "sweep spec as /sweep query parameters; runs the sweep drive instead of the mixed stream")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -63,6 +73,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 		base = "http://" + bound.String()
 		fmt.Fprintf(stdout, "pariobench: spawned in-process server on %s\n", base)
+	}
+
+	if *sweep != "" {
+		return sweepDrive(base, *sweep, stdout, stderr)
 	}
 
 	before, err := fetchMetrics(base)
@@ -177,9 +191,176 @@ func fire(base string, req serve.Request) (string, error) {
 	}
 }
 
+// sweepDrive fires one /sweep, then checks the batch contract against the
+// daemon's own counters and a point-by-point replay through /run:
+//
+//  1. streamed lines == expanded points (header, summary, and the
+//     sweep_points_total metric delta all agree)
+//  2. runs_total moved by exactly the cold (miss) points
+//  3. every line's embedded body is byte-identical to /run on the request
+//     that body carries
+//  4. a repeat sweep is all cache hits and re-simulates nothing
+func sweepDrive(base, spec string, stdout, stderr io.Writer) int {
+	before, err := fetchMetrics(base)
+	if err != nil {
+		fmt.Fprintf(stderr, "pariobench: %v\n", err)
+		return 1
+	}
+	start := time.Now()
+	lines, sum, hdrPoints, err := fireSweep(base, spec)
+	if err != nil {
+		fmt.Fprintf(stderr, "pariobench: sweep: %v\n", err)
+		return 1
+	}
+	elapsed := time.Since(start)
+	after, err := fetchMetrics(base)
+	if err != nil {
+		fmt.Fprintf(stderr, "pariobench: %v\n", err)
+		return 1
+	}
+
+	var hits, misses, shared, failed int
+	for _, ln := range lines {
+		switch {
+		case ln.Error != "":
+			failed++
+			fmt.Fprintf(stderr, "pariobench: point %d failed (%s): %s\n", ln.Point, ln.Class, ln.Error)
+		case ln.Cache == "hit":
+			hits++
+		case ln.Cache == "shared":
+			shared++
+		default:
+			misses++
+		}
+	}
+	fmt.Fprintf(stdout, "pariobench: sweep %q: %d points in %.2fs (%d cold, %d hit, %d shared, %d skipped, %d deduped)\n",
+		spec, len(lines), elapsed.Seconds(), misses, hits, shared, sum.Skipped, sum.Deduped)
+	if failed > 0 {
+		fmt.Fprintf(stderr, "pariobench: FAIL: %d sweep points failed\n", failed)
+		return 1
+	}
+	pointsDelta := after.SweepPointsTotal - before.SweepPointsTotal
+	if len(lines) != hdrPoints || sum.Points != hdrPoints || pointsDelta != int64(hdrPoints) {
+		fmt.Fprintf(stderr, "pariobench: FAIL: point accounting disagrees: %d lines, %d header, %d summary, %d metric delta\n",
+			len(lines), hdrPoints, sum.Points, pointsDelta)
+		return 1
+	}
+	if runs := after.RunsTotal - before.RunsTotal; runs != int64(misses) {
+		fmt.Fprintf(stderr, "pariobench: FAIL: run counter moved by %d but the sweep served %d cold points\n", runs, misses)
+		return 1
+	}
+
+	// Replay every point through /run: the interactive path must return the
+	// exact bytes the sweep streamed (all from cache now — the sweep seeded it).
+	for _, ln := range lines {
+		var res struct {
+			Request serve.Request `json:"request"`
+		}
+		if err := json.Unmarshal([]byte(ln.Body), &res); err != nil {
+			fmt.Fprintf(stderr, "pariobench: FAIL: point %d body does not decode: %v\n", ln.Point, err)
+			return 1
+		}
+		runBody, err := fireBody(base, res.Request)
+		if err != nil {
+			fmt.Fprintf(stderr, "pariobench: FAIL: point %d via /run: %v\n", ln.Point, err)
+			return 1
+		}
+		if !bytes.Equal([]byte(ln.Body), runBody) {
+			fmt.Fprintf(stderr, "pariobench: FAIL: point %d: sweep body differs from /run body\n", ln.Point)
+			return 1
+		}
+	}
+	fmt.Fprintf(stdout, "pariobench: all %d bodies byte-identical via /run\n", len(lines))
+
+	// The repeat sweep must be pure cache: every point a hit, zero new runs.
+	lines2, sum2, _, err := fireSweep(base, spec)
+	if err != nil {
+		fmt.Fprintf(stderr, "pariobench: repeat sweep: %v\n", err)
+		return 1
+	}
+	final, err := fetchMetrics(base)
+	if err != nil {
+		fmt.Fprintf(stderr, "pariobench: %v\n", err)
+		return 1
+	}
+	for _, ln := range lines2 {
+		if ln.Cache != "hit" {
+			fmt.Fprintf(stderr, "pariobench: FAIL: repeat sweep point %d was %q, want hit\n", ln.Point, ln.Cache)
+			return 1
+		}
+	}
+	if sum2.CacheHits != len(lines2) || final.RunsTotal != after.RunsTotal {
+		fmt.Fprintf(stderr, "pariobench: FAIL: repeat sweep re-simulated (hits %d/%d, runs %d -> %d)\n",
+			sum2.CacheHits, len(lines2), after.RunsTotal, final.RunsTotal)
+		return 1
+	}
+	fmt.Fprintln(stdout, "pariobench: OK: points == lines == metrics, runs == cold points, repeat sweep all-cache")
+	return 0
+}
+
+// fireSweep streams one /sweep and returns its point lines, summary, and
+// the X-Pario-Sweep-Points header.
+func fireSweep(base, spec string) ([]serve.SweepLine, serve.SweepSummary, int, error) {
+	var sum serve.SweepSummary
+	resp, err := http.Get(base + "/sweep?" + spec)
+	if err != nil {
+		return nil, sum, 0, err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, sum, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, sum, 0, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	hdrPoints, err := strconv.Atoi(resp.Header.Get("X-Pario-Sweep-Points"))
+	if err != nil {
+		return nil, sum, 0, fmt.Errorf("X-Pario-Sweep-Points %q: %v", resp.Header.Get("X-Pario-Sweep-Points"), err)
+	}
+	rows := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(rows) == 0 {
+		return nil, sum, 0, fmt.Errorf("empty stream")
+	}
+	if err := json.Unmarshal([]byte(rows[len(rows)-1]), &sum); err != nil || !sum.Done {
+		return nil, sum, 0, fmt.Errorf("stream did not end with a done summary: %q", rows[len(rows)-1])
+	}
+	var lines []serve.SweepLine
+	for _, row := range rows[:len(rows)-1] {
+		var ln serve.SweepLine
+		if err := json.Unmarshal([]byte(row), &ln); err != nil {
+			return nil, sum, 0, fmt.Errorf("stream line %q: %v", row, err)
+		}
+		lines = append(lines, ln)
+	}
+	return lines, sum, hdrPoints, nil
+}
+
+// fireBody posts one run request and returns the full response body.
+func fireBody(base string, req serve.Request) ([]byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(base+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+	}
+	return b, nil
+}
+
 type metrics struct {
-	RunsTotal int64 `json:"runs_total"`
-	CacheHits int64 `json:"cache_hits"`
+	RunsTotal        int64 `json:"runs_total"`
+	CacheHits        int64 `json:"cache_hits"`
+	SweepPointsTotal int64 `json:"sweep_points_total"`
 }
 
 func fetchMetrics(base string) (metrics, error) {

@@ -9,10 +9,14 @@
 //	pariod                         # serve on :8080
 //	pariod -addr 127.0.0.1:0       # ephemeral port (printed on startup)
 //	pariod -workers 8 -queue 128 -cache 1024 -timeout 30s
+//	pariod -batch-queue 512 -max-sweep-points 8192 -max-sweeps 2
 //
 // Endpoints:
 //
 //	POST /run      {"app":"fft","procs":8,"opt":true}   (or GET with query params)
+//	GET  /sweep    ?app=fft&procs=1,2,4,8&ionodes=1..16&opt=both   (ranges expand
+//	               server-side; results stream back as NDJSON, one line per point,
+//	               on a lower-priority batch lane; ?format=sse for event streams)
 //	GET  /healthz
 //	GET  /metrics
 //
@@ -45,22 +49,28 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 	fs := flag.NewFlagSet("pariod", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr    = fs.String("addr", ":8080", "listen address (port 0 picks a free port)")
-		workers = fs.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
-		queue   = fs.Int("queue", 64, "admission queue depth; a full queue answers 429")
-		cache   = fs.Int("cache", 512, "result cache capacity in entries")
-		timeout = fs.Duration("timeout", 60*time.Second, "per-request ceiling (requests may ask for less via ?timeout_sec=)")
-		drain   = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+		addr       = fs.String("addr", ":8080", "listen address (port 0 picks a free port)")
+		workers    = fs.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+		queue      = fs.Int("queue", 64, "interactive (/run) admission queue depth; a full queue answers 429")
+		batchQueue = fs.Int("batch-queue", 256, "batch (/sweep) lane queue depth; sweeps block on it as flow control")
+		cache      = fs.Int("cache", 512, "result cache capacity in entries")
+		timeout    = fs.Duration("timeout", 60*time.Second, "per-request ceiling (requests may ask for less via ?timeout_sec=)")
+		maxPoints  = fs.Int("max-sweep-points", 4096, "largest expanded grid one /sweep may name")
+		maxSweeps  = fs.Int("max-sweeps", 4, "concurrently streaming sweeps; excess sweeps answer 429")
+		drain      = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
 	srv := serve.New(serve.Options{
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheEntries: *cache,
-		Timeout:      *timeout,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		BatchQueueDepth: *batchQueue,
+		CacheEntries:    *cache,
+		Timeout:         *timeout,
+		MaxSweepPoints:  *maxPoints,
+		MaxSweeps:       *maxSweeps,
 	})
 	bound, err := srv.Start(*addr)
 	if err != nil {

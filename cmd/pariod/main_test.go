@@ -19,7 +19,8 @@ func TestDaemonLifecycle(t *testing.T) {
 	stop := make(chan struct{})
 	exited := make(chan int, 1)
 	go func() {
-		exited <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-queue", "8"},
+		exited <- run([]string{"-addr", "127.0.0.1:0", "-workers", "2", "-queue", "8",
+			"-batch-queue", "8", "-max-sweep-points", "64", "-max-sweeps", "2"},
 			&stdout, &stderr, ready, stop)
 	}()
 	var addr string
@@ -75,6 +76,25 @@ func TestDaemonLifecycle(t *testing.T) {
 	mresp.Body.Close()
 	if m.RunsTotal != 1 || m.CacheHits != 1 {
 		t.Fatalf("runs/hits = %d/%d, want 1/1", m.RunsTotal, m.CacheHits)
+	}
+
+	// A sweep over the already-cached point plus one cold neighbor streams
+	// two NDJSON lines and a done summary through the batch lane.
+	sresp, err := http.Get(base + "/sweep?app=scf11&procs=4,8&input=SMALL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepRaw, _ := io.ReadAll(sresp.Body)
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: status %d: %s", sresp.StatusCode, sweepRaw)
+	}
+	if got := sresp.Header.Get("X-Pario-Sweep-Points"); got != "2" {
+		t.Fatalf("sweep points header = %q, want 2", got)
+	}
+	lines := strings.Split(strings.TrimRight(string(sweepRaw), "\n"), "\n")
+	if len(lines) != 3 || !strings.Contains(lines[2], `"done":true`) {
+		t.Fatalf("sweep stream = %d lines (%q), want 2 points + summary", len(lines), sweepRaw)
 	}
 
 	close(stop)

@@ -7,35 +7,69 @@ import (
 	"sync/atomic"
 )
 
-// ErrBusy is returned by Submit when the admission queue is full: the
-// caller should shed the request (HTTP 429) rather than wait.
+// ErrBusy is returned by Submit when the lane's admission queue is full:
+// the caller should shed the request (HTTP 429) rather than wait.
 var ErrBusy = errors.New("serve: queue full")
 
 // ErrDraining is returned by Submit once Close has begun: the scheduler
 // finishes what it accepted but takes no new work.
 var ErrDraining = errors.New("serve: scheduler draining")
 
-// Scheduler is the bounded run executor: a fixed worker pool fed by a
-// fixed-depth admission queue. Admission is non-blocking — a full queue is
-// the backpressure signal — and a job whose context ends while queued is
-// skipped by the worker that dequeues it, so canceled requests cost a check,
-// not a simulation.
+// Lane selects a scheduler priority class.
+type Lane int
+
+const (
+	// LaneInteractive carries single /run points: whenever both lanes
+	// have work ready, a freed worker takes the interactive job first.
+	LaneInteractive Lane = iota
+	// LaneBatch carries /sweep points: bounded separately, dequeued only
+	// when no interactive work is ready, so a sweep can neither starve
+	// nor 429 interactive traffic.
+	LaneBatch
+	numLanes
+)
+
+func (l Lane) String() string {
+	if l == LaneInteractive {
+		return "interactive"
+	}
+	return "batch"
+}
+
+// Scheduler is the bounded run executor: a fixed worker pool fed by two
+// fixed-depth admission queues — an interactive lane and a batch lane.
+// Workers prefer interactive work strictly: a batch job is dequeued only
+// when the interactive queue is empty at that instant. Admission per lane is
+// either non-blocking (Submit; a full queue is the backpressure signal) or
+// blocking (SubmitWait; the sweep feeder's flow control). A job whose
+// context ends while queued is skipped by the worker that dequeues it, so
+// canceled requests cost a check, not a simulation.
 type Scheduler struct {
-	mu     sync.Mutex // guards closed and the send into jobs
-	closed bool
-	jobs   chan *schedJob
-	wg     sync.WaitGroup
+	mu      sync.Mutex // guards closed and admission into the lanes
+	closed  bool
+	closing chan struct{}  // closed by Close: unblocks waiting SubmitWait senders
+	senders sync.WaitGroup // SubmitWait callers between admission check and send
+	lanes   [numLanes]laneQ
+	wg      sync.WaitGroup
+}
+
+// laneQ is one priority lane's queue and gauges.
+type laneQ struct {
+	jobs chan *schedJob
 
 	// state packs the queued count (high 32 bits) and the in-flight count
 	// (low 32 bits) into one word, so dequeueing moves a job between the
 	// two gauges in a single atomic add — there is no instant at which an
 	// accepted job is invisible to both QueueDepth and InFlight, and a
-	// poller can never observe an idle service with work pending.
+	// poller can never observe an idle service with work pending. A
+	// SubmitWait caller blocked for a slot counts as queued: it is
+	// committed work, and per-lane backlog (Retry-After, /metrics) must
+	// see it.
 	state     atomic.Uint64
 	doneCount atomic.Int64
 }
 
-// One job in the queued (high) word of Scheduler.state.
+// One job in the queued (high) word of laneQ.state.
 const queuedOne = uint64(1) << 32
 
 // dequeueDelta moves one job from queued to in-flight in a single add:
@@ -50,16 +84,21 @@ type schedJob struct {
 	err  error
 }
 
-// NewScheduler starts workers goroutines behind a queue of depth pending
-// slots (both minimum 1).
-func NewScheduler(workers, depth int) *Scheduler {
+// NewScheduler starts workers goroutines behind an interactive queue of
+// depth pending slots and a batch queue of batchDepth slots (all minimum 1).
+func NewScheduler(workers, depth, batchDepth int) *Scheduler {
 	if workers < 1 {
 		workers = 1
 	}
 	if depth < 1 {
 		depth = 1
 	}
-	s := &Scheduler{jobs: make(chan *schedJob, depth)}
+	if batchDepth < 1 {
+		batchDepth = 1
+	}
+	s := &Scheduler{closing: make(chan struct{})}
+	s.lanes[LaneInteractive].jobs = make(chan *schedJob, depth)
+	s.lanes[LaneBatch].jobs = make(chan *schedJob, batchDepth)
 	s.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go s.worker()
@@ -69,29 +108,81 @@ func NewScheduler(workers, depth int) *Scheduler {
 
 func (s *Scheduler) worker() {
 	defer s.wg.Done()
-	for j := range s.jobs {
-		s.state.Add(dequeueDelta)
-		if err := j.ctx.Err(); err != nil {
-			j.err = err // canceled while queued: free the slot immediately
-		} else {
-			j.body, j.err = j.fn(j.ctx)
+	inter, batch := s.lanes[LaneInteractive].jobs, s.lanes[LaneBatch].jobs
+	interOpen, batchOpen := true, true
+	for interOpen || batchOpen {
+		// Strict preference: take interactive work whenever it is ready,
+		// before even looking at the batch lane.
+		if interOpen {
+			select {
+			case j, ok := <-inter:
+				if !ok {
+					interOpen = false
+					continue
+				}
+				s.exec(LaneInteractive, j)
+				continue
+			default:
+			}
 		}
-		close(j.done)
-		// Count the job done before dropping it from in-flight: the sum
-		// queued+inflight+done may transiently exceed the submitted count,
-		// but never undercounts it.
-		s.doneCount.Add(1)
-		s.state.Add(^uint64(0)) // in-flight - 1
+		switch {
+		case interOpen && batchOpen:
+			select {
+			case j, ok := <-inter:
+				if !ok {
+					interOpen = false
+					continue
+				}
+				s.exec(LaneInteractive, j)
+			case j, ok := <-batch:
+				if !ok {
+					batchOpen = false
+					continue
+				}
+				s.exec(LaneBatch, j)
+			}
+		case interOpen:
+			j, ok := <-inter
+			if !ok {
+				interOpen = false
+				continue
+			}
+			s.exec(LaneInteractive, j)
+		default:
+			j, ok := <-batch
+			if !ok {
+				batchOpen = false
+				continue
+			}
+			s.exec(LaneBatch, j)
+		}
 	}
 }
 
-// Submit enqueues fn and waits for its result. It returns ErrBusy without
-// waiting when the queue is full, ErrDraining after Close, and ctx's error
-// if ctx ends first — in which case the job is abandoned: if it is already
-// running, fn's own ctx plumbing (the simulation kernel's interrupt hook)
-// stops it and frees the worker.
-func (s *Scheduler) Submit(ctx context.Context, fn func(ctx context.Context) ([]byte, error)) ([]byte, error) {
+func (s *Scheduler) exec(ln Lane, j *schedJob) {
+	la := &s.lanes[ln]
+	la.state.Add(dequeueDelta)
+	if err := j.ctx.Err(); err != nil {
+		j.err = err // canceled while queued: free the slot immediately
+	} else {
+		j.body, j.err = j.fn(j.ctx)
+	}
+	close(j.done)
+	// Count the job done before dropping it from in-flight: the sum
+	// queued+inflight+done may transiently exceed the submitted count,
+	// but never undercounts it.
+	la.doneCount.Add(1)
+	la.state.Add(^uint64(0)) // in-flight - 1
+}
+
+// Submit enqueues fn on lane ln and waits for its result. It returns
+// ErrBusy without waiting when the lane's queue is full, ErrDraining after
+// Close, and ctx's error if ctx ends first — in which case the job is
+// abandoned: if it is already running, fn's own ctx plumbing (the
+// simulation kernel's interrupt hook) stops it and frees the worker.
+func (s *Scheduler) Submit(ctx context.Context, ln Lane, fn func(ctx context.Context) ([]byte, error)) ([]byte, error) {
 	j := &schedJob{ctx: ctx, fn: fn, done: make(chan struct{})}
+	la := &s.lanes[ln]
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -99,15 +190,53 @@ func (s *Scheduler) Submit(ctx context.Context, fn func(ctx context.Context) ([]
 	}
 	// The job joins the queued gauge before it is visible to a worker, so
 	// the worker's dequeue decrement can never race it below zero.
-	s.state.Add(queuedOne)
+	la.state.Add(queuedOne)
 	select {
-	case s.jobs <- j:
+	case la.jobs <- j:
 		s.mu.Unlock()
 	default:
-		s.state.Add(^(queuedOne - 1)) // queued - 1: admission refused
+		la.state.Add(^(queuedOne - 1)) // queued - 1: admission refused
 		s.mu.Unlock()
 		return nil, ErrBusy
 	}
+	return j.wait(ctx)
+}
+
+// SubmitWait is Submit with blocking admission: a full lane queue makes the
+// caller wait for a slot instead of returning ErrBusy. The lane's queue
+// bound becomes flow control — the sweep feeder trickles points in as
+// workers drain them — while ctx cancellation (client disconnect) and Close
+// both release the wait. A waiting caller is already counted in the lane's
+// queued gauge.
+func (s *Scheduler) SubmitWait(ctx context.Context, ln Lane, fn func(ctx context.Context) ([]byte, error)) ([]byte, error) {
+	j := &schedJob{ctx: ctx, fn: fn, done: make(chan struct{})}
+	la := &s.lanes[ln]
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	// Registering as a sender under mu means Close cannot close the jobs
+	// channel out from under the pending send below.
+	s.senders.Add(1)
+	la.state.Add(queuedOne)
+	s.mu.Unlock()
+	select {
+	case la.jobs <- j:
+		s.senders.Done()
+	case <-ctx.Done():
+		la.state.Add(^(queuedOne - 1))
+		s.senders.Done()
+		return nil, ctx.Err()
+	case <-s.closing:
+		la.state.Add(^(queuedOne - 1))
+		s.senders.Done()
+		return nil, ErrDraining
+	}
+	return j.wait(ctx)
+}
+
+func (j *schedJob) wait(ctx context.Context) ([]byte, error) {
 	select {
 	case <-j.done:
 		return j.body, j.err
@@ -116,19 +245,22 @@ func (s *Scheduler) Submit(ctx context.Context, fn func(ctx context.Context) ([]
 	}
 }
 
-// QueueDepth returns the number of admitted jobs not yet taken by a
-// worker.
-func (s *Scheduler) QueueDepth() int { return int(s.state.Load() >> 32) }
+// QueueDepth returns the number of admitted jobs on lane ln not yet taken
+// by a worker (including SubmitWait callers still waiting for a slot).
+func (s *Scheduler) QueueDepth(ln Lane) int { return int(s.lanes[ln].state.Load() >> 32) }
 
-// InFlight returns the number of jobs currently occupying workers.
-func (s *Scheduler) InFlight() int64 { return int64(s.state.Load() & (queuedOne - 1)) }
+// InFlight returns the number of lane ln jobs currently occupying workers.
+func (s *Scheduler) InFlight(ln Lane) int64 {
+	return int64(s.lanes[ln].state.Load() & (queuedOne - 1))
+}
 
-// Done returns the number of jobs that have completed (including ones
-// skipped because their context ended while queued).
-func (s *Scheduler) Done() int64 { return s.doneCount.Load() }
+// Done returns the number of lane ln jobs that have completed (including
+// ones skipped because their context ended while queued).
+func (s *Scheduler) Done(ln Lane) int64 { return s.lanes[ln].doneCount.Load() }
 
 // Close stops admission, lets queued and running jobs finish, and returns
 // when every worker has exited: the drain half of graceful shutdown.
+// SubmitWait callers still waiting for a slot are released with ErrDraining.
 func (s *Scheduler) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -137,7 +269,13 @@ func (s *Scheduler) Close() {
 		return
 	}
 	s.closed = true
-	close(s.jobs)
+	close(s.closing)
 	s.mu.Unlock()
+	// Waiting senders have all either completed their send or bailed via
+	// closing before the jobs channels may be closed.
+	s.senders.Wait()
+	for i := range s.lanes {
+		close(s.lanes[i].jobs)
+	}
 	s.wg.Wait()
 }

@@ -23,39 +23,52 @@ func blockingRun(started chan<- struct{}, release <-chan struct{}) func(context.
 	}
 }
 
+// releaser wraps a release channel so tests can close it exactly once — and,
+// crucially, close it on ANY exit path. A t.Fatal between wedging a worker
+// and close(release) would otherwise leave the job blocked forever, turning
+// the deferred Scheduler.Close (which waits for running jobs) into a package
+// hang instead of a test failure. Register `defer rel()` AFTER `defer
+// s.Close()` so the unwind releases jobs before Close drains them.
+func releaser(release chan struct{}) func() {
+	return sync.OnceFunc(func() { close(release) })
+}
+
 // TestSchedulerBackpressure fills one worker and one queue slot, verifies
 // the next submission is shed with ErrBusy, then drains and verifies the
 // scheduler accepts work again: the 429 → recovery cycle.
 func TestSchedulerBackpressure(t *testing.T) {
-	s := NewScheduler(1, 1)
+	s := NewScheduler(1, 1, 1)
 	defer s.Close()
 	started := make(chan struct{}, 4)
 	release := make(chan struct{})
+	rel := releaser(release)
+	defer rel()
 
+	// Submit the queue-filler only after the first job occupies the
+	// worker: two concurrent submissions against a depth-1 queue race the
+	// worker's dequeue, and the loser is legitimately shed with ErrBusy.
 	var wg sync.WaitGroup
 	results := make([]error, 2)
 	for i := 0; i < 2; i++ { // one runs, one queues
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, results[i] = s.Submit(context.Background(), blockingRun(started, release))
+			_, results[i] = s.Submit(context.Background(), LaneInteractive, blockingRun(started, release))
 		}(i)
+		if i == 0 {
+			<-started // the first job occupies the worker
+		}
 	}
-	<-started // the first job occupies the worker
 	// Wait for the second submission to occupy the queue slot.
-	deadline := time.Now().Add(time.Second)
-	for s.QueueDepth() == 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
-	if s.QueueDepth() != 1 {
-		t.Fatalf("queue depth = %d, want 1", s.QueueDepth())
-	}
+	waitFor(t, "the second submission to queue", func() bool {
+		return s.QueueDepth(LaneInteractive) == 1
+	})
 
-	if _, err := s.Submit(context.Background(), blockingRun(started, release)); !errors.Is(err, ErrBusy) {
+	if _, err := s.Submit(context.Background(), LaneInteractive, blockingRun(started, release)); !errors.Is(err, ErrBusy) {
 		t.Fatalf("err = %v, want ErrBusy", err)
 	}
 
-	close(release) // drain
+	rel() // drain
 	wg.Wait()
 	for i, err := range results {
 		if err != nil {
@@ -63,7 +76,7 @@ func TestSchedulerBackpressure(t *testing.T) {
 		}
 	}
 	// Recovered: a fresh job is admitted and completes.
-	body, err := s.Submit(context.Background(), func(ctx context.Context) ([]byte, error) {
+	body, err := s.Submit(context.Background(), LaneInteractive, func(ctx context.Context) ([]byte, error) {
 		return []byte("after drain"), nil
 	})
 	if err != nil || string(body) != "after drain" {
@@ -71,19 +84,309 @@ func TestSchedulerBackpressure(t *testing.T) {
 	}
 }
 
+// TestSchedulerLaneIsolation fills the interactive lane to ErrBusy and
+// verifies the batch lane still admits (and vice versa): the two admission
+// bounds are independent, so a sweep can never 429 interactive traffic.
+func TestSchedulerLaneIsolation(t *testing.T) {
+	s := NewScheduler(1, 1, 1)
+	defer s.Close()
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	rel := releaser(release)
+	defer rel()
+
+	var wg sync.WaitGroup
+	submit := func(ln Lane) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Submit(context.Background(), ln, blockingRun(started, release)); err != nil {
+				t.Errorf("lane %v: %v", ln, err)
+			}
+		}()
+	}
+	submit(LaneInteractive) // occupies the worker
+	<-started
+	submit(LaneInteractive) // occupies the interactive queue slot
+	waitFor(t, "the interactive queue slot to fill", func() bool {
+		return s.QueueDepth(LaneInteractive) == 1
+	})
+	if _, err := s.Submit(context.Background(), LaneInteractive, blockingRun(started, release)); !errors.Is(err, ErrBusy) {
+		t.Fatalf("interactive overflow err = %v, want ErrBusy", err)
+	}
+	// The batch lane is bounded separately: still one admission free.
+	submit(LaneBatch)
+	waitFor(t, "the batch queue slot to fill", func() bool {
+		return s.QueueDepth(LaneBatch) == 1
+	})
+	if _, err := s.Submit(context.Background(), LaneBatch, blockingRun(started, release)); !errors.Is(err, ErrBusy) {
+		t.Fatalf("batch overflow err = %v, want ErrBusy", err)
+	}
+	rel() // started is buffered wide enough for every admitted job
+	wg.Wait()
+}
+
+// TestSchedulerLanePriority queues batch and interactive work behind one
+// busy worker and verifies the freed worker takes the interactive job
+// before the earlier-queued batch jobs: strict dequeue preference.
+func TestSchedulerLanePriority(t *testing.T) {
+	s := NewScheduler(1, 4, 4)
+	defer s.Close()
+	release := make(chan struct{})
+	rel := releaser(release)
+	defer rel()
+
+	var mu sync.Mutex
+	var order []string
+	record := func(name string) func(context.Context) ([]byte, error) {
+		return func(ctx context.Context) ([]byte, error) {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return nil, nil
+		}
+	}
+
+	started := make(chan struct{}, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Submit(context.Background(), LaneBatch, func(ctx context.Context) ([]byte, error) {
+			mu.Lock()
+			order = append(order, "first")
+			mu.Unlock()
+			started <- struct{}{}
+			<-release
+			return nil, nil
+		})
+	}()
+	<-started // worker busy on the first batch job
+
+	// Two more batch jobs queue up, then one interactive job.
+	for _, name := range []string{"batch-1", "batch-2"} {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			s.Submit(context.Background(), LaneBatch, record(name))
+		}(name)
+	}
+	waitFor(t, "both batch jobs to queue", func() bool {
+		return s.QueueDepth(LaneBatch) >= 2
+	})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Submit(context.Background(), LaneInteractive, record("interactive"))
+	}()
+	waitFor(t, "the interactive job to queue", func() bool {
+		return s.QueueDepth(LaneInteractive) >= 1
+	})
+
+	rel()
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 4 || order[0] != "first" || order[1] != "interactive" {
+		t.Fatalf("execution order = %v, want the interactive job right after the running batch job", order)
+	}
+}
+
+// TestSchedulerSubmitWaitBlocksForSlot fills the batch lane and verifies
+// SubmitWait waits for a slot (counting as queued backlog) instead of
+// returning ErrBusy, then completes once the lane drains.
+func TestSchedulerSubmitWaitBlocksForSlot(t *testing.T) {
+	s := NewScheduler(1, 1, 1)
+	defer s.Close()
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	rel := releaser(release)
+	defer rel()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ { // one runs, one fills the batch queue slot
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Submit(context.Background(), LaneBatch, blockingRun(started, release)); err != nil {
+				t.Error(err)
+			}
+		}()
+		if i == 0 {
+			<-started // serialize: the second submission must find the worker busy
+		}
+	}
+	waitFor(t, "the batch queue slot to fill", func() bool {
+		return s.QueueDepth(LaneBatch) == 1
+	})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.SubmitWait(context.Background(), LaneBatch, func(context.Context) ([]byte, error) {
+			return nil, nil
+		})
+		done <- err
+	}()
+	// The waiter joins the queued gauge while blocked for a slot.
+	waitFor(t, "the waiting sender to join the queued gauge", func() bool {
+		return s.QueueDepth(LaneBatch) == 2
+	})
+	select {
+	case err := <-done:
+		t.Fatalf("SubmitWait returned early: %v", err)
+	default:
+	}
+
+	rel()
+	wg.Wait()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("SubmitWait after drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SubmitWait never completed after the lane drained")
+	}
+}
+
+// TestSchedulerSubmitWaitCanceledWhileWaiting cancels a SubmitWait caller
+// still waiting for a slot and verifies it returns the ctx error and leaves
+// the queued gauge clean.
+func TestSchedulerSubmitWaitCanceledWhileWaiting(t *testing.T) {
+	s := NewScheduler(1, 1, 1)
+	defer s.Close()
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	rel := releaser(release)
+	defer rel()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Submit(context.Background(), LaneBatch, blockingRun(started, release))
+		}()
+		if i == 0 {
+			<-started // serialize: the second submission must find the worker busy
+		}
+	}
+	waitFor(t, "the batch queue slot to fill", func() bool {
+		return s.QueueDepth(LaneBatch) == 1
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	executed := atomic.Bool{}
+	go func() {
+		_, err := s.SubmitWait(ctx, LaneBatch, func(context.Context) ([]byte, error) {
+			executed.Store(true)
+			return nil, nil
+		})
+		done <- err
+	}()
+	waitFor(t, "the waiting sender to join the queued gauge", func() bool {
+		return s.QueueDepth(LaneBatch) == 2
+	})
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled SubmitWait never returned")
+	}
+	if executed.Load() {
+		t.Fatal("canceled waiter executed anyway")
+	}
+	if s.QueueDepth(LaneBatch) != 1 {
+		t.Fatalf("batch queued = %d after cancel, want 1", s.QueueDepth(LaneBatch))
+	}
+	rel()
+	wg.Wait()
+}
+
+// TestSchedulerCloseReleasesWaitingSenders verifies Close unblocks a
+// SubmitWait caller stuck waiting for a slot with ErrDraining, without
+// panicking on the channel close.
+func TestSchedulerCloseReleasesWaitingSenders(t *testing.T) {
+	s := NewScheduler(1, 1, 1)
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	rel := releaser(release)
+	defer rel()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Submit(context.Background(), LaneBatch, blockingRun(started, release))
+		}()
+		if i == 0 {
+			<-started // serialize: the second submission must find the worker busy
+		}
+	}
+	waitFor(t, "the batch queue slot to fill", func() bool {
+		return s.QueueDepth(LaneBatch) == 1
+	})
+
+	waitErr := make(chan error, 1)
+	go func() {
+		_, err := s.SubmitWait(context.Background(), LaneBatch, func(context.Context) ([]byte, error) {
+			return nil, nil
+		})
+		waitErr <- err
+	}()
+	waitFor(t, "the waiting sender to join the queued gauge", func() bool {
+		return s.QueueDepth(LaneBatch) == 2
+	})
+
+	// Close in the background: the worker is still wedged, so the lane
+	// stays full and the waiting sender can only be released via the
+	// closing signal.
+	closeDone := make(chan struct{})
+	go func() {
+		s.Close()
+		close(closeDone)
+	}()
+	select {
+	case err := <-waitErr:
+		if !errors.Is(err, ErrDraining) {
+			t.Fatalf("waiting sender err = %v, want ErrDraining", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close left the waiting sender stuck")
+	}
+	rel() // let the accepted jobs drain so Close can return
+	select {
+	case <-closeDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never finished draining")
+	}
+	wg.Wait()
+}
+
 // TestSchedulerCanceledQueuedJobFreesSlot cancels a job while it waits in
 // the queue and verifies the worker skips it without executing.
 func TestSchedulerCanceledQueuedJobFreesSlot(t *testing.T) {
-	s := NewScheduler(1, 2)
+	s := NewScheduler(1, 2, 1)
 	defer s.Close()
 	started := make(chan struct{}, 1)
 	release := make(chan struct{})
+	rel := releaser(release)
+	defer rel()
 
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		if _, err := s.Submit(context.Background(), blockingRun(started, release)); err != nil {
+		if _, err := s.Submit(context.Background(), LaneInteractive, blockingRun(started, release)); err != nil {
 			t.Error(err)
 		}
 	}()
@@ -94,7 +397,7 @@ func TestSchedulerCanceledQueuedJobFreesSlot(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		_, err := s.Submit(ctx, func(context.Context) ([]byte, error) {
+		_, err := s.Submit(ctx, LaneInteractive, func(context.Context) ([]byte, error) {
 			executed = true
 			return nil, nil
 		})
@@ -102,18 +405,17 @@ func TestSchedulerCanceledQueuedJobFreesSlot(t *testing.T) {
 			t.Errorf("queued job err = %v, want context.Canceled", err)
 		}
 	}()
-	deadline := time.Now().Add(time.Second)
-	for s.QueueDepth() == 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
+	waitFor(t, "the canceled job to queue", func() bool {
+		return s.QueueDepth(LaneInteractive) >= 1
+	})
 	cancel() // cancel while queued
-	close(release)
+	rel()
 	wg.Wait()
 	if executed {
 		t.Fatal("canceled job executed anyway")
 	}
 	// The slot is free again.
-	if _, err := s.Submit(context.Background(), func(context.Context) ([]byte, error) { return nil, nil }); err != nil {
+	if _, err := s.Submit(context.Background(), LaneInteractive, func(context.Context) ([]byte, error) { return nil, nil }); err != nil {
 		t.Fatalf("post-cancel submit: %v", err)
 	}
 }
@@ -121,14 +423,14 @@ func TestSchedulerCanceledQueuedJobFreesSlot(t *testing.T) {
 // TestSchedulerRunningJobCtx verifies a running job sees its context end
 // and the submitter gets the context error.
 func TestSchedulerRunningJobCtx(t *testing.T) {
-	s := NewScheduler(1, 1)
+	s := NewScheduler(1, 1, 1)
 	defer s.Close()
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
 		time.Sleep(5 * time.Millisecond)
 		cancel()
 	}()
-	_, err := s.Submit(ctx, func(jctx context.Context) ([]byte, error) {
+	_, err := s.Submit(ctx, LaneInteractive, func(jctx context.Context) ([]byte, error) {
 		<-jctx.Done()
 		return nil, jctx.Err()
 	})
@@ -137,10 +439,10 @@ func TestSchedulerRunningJobCtx(t *testing.T) {
 	}
 }
 
-// TestSchedulerCloseDrains verifies Close lets accepted jobs finish and
-// rejects later submissions with ErrDraining.
+// TestSchedulerCloseDrains verifies Close lets accepted jobs finish on both
+// lanes and rejects later submissions with ErrDraining.
 func TestSchedulerCloseDrains(t *testing.T) {
-	s := NewScheduler(2, 4)
+	s := NewScheduler(2, 4, 4)
 	started := make(chan struct{}, 2)
 	release := make(chan struct{})
 	var wg sync.WaitGroup
@@ -149,7 +451,11 @@ func TestSchedulerCloseDrains(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, results[i] = s.Submit(context.Background(), blockingRun(started, release))
+			ln := LaneInteractive
+			if i == 1 {
+				ln = LaneBatch
+			}
+			_, results[i] = s.Submit(context.Background(), ln, blockingRun(started, release))
 		}(i)
 	}
 	<-started
@@ -165,25 +471,37 @@ func TestSchedulerCloseDrains(t *testing.T) {
 			t.Fatalf("in-flight job %d failed during Close: %v", i, err)
 		}
 	}
-	if _, err := s.Submit(context.Background(), func(context.Context) ([]byte, error) { return nil, nil }); !errors.Is(err, ErrDraining) {
+	if _, err := s.Submit(context.Background(), LaneInteractive, func(context.Context) ([]byte, error) { return nil, nil }); !errors.Is(err, ErrDraining) {
 		t.Fatalf("post-Close submit err = %v, want ErrDraining", err)
+	}
+	if _, err := s.SubmitWait(context.Background(), LaneBatch, func(context.Context) ([]byte, error) { return nil, nil }); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-Close SubmitWait err = %v, want ErrDraining", err)
 	}
 }
 
-// TestSchedulerConcurrentSubmitStress mixes many submissions with distinct
-// outcomes; run with -race.
+// TestSchedulerConcurrentSubmitStress mixes many submissions across lanes
+// and admission modes with distinct outcomes; run with -race.
 func TestSchedulerConcurrentSubmitStress(t *testing.T) {
-	s := NewScheduler(4, 8)
+	s := NewScheduler(4, 8, 8)
 	defer s.Close()
 	var wg sync.WaitGroup
-	for i := 0; i < 64; i++ {
+	for i := 0; i < 96; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			_, err := s.Submit(context.Background(), func(context.Context) ([]byte, error) {
+			fn := func(context.Context) ([]byte, error) {
 				time.Sleep(time.Duration(i%3) * time.Millisecond)
 				return nil, nil
-			})
+			}
+			var err error
+			switch i % 3 {
+			case 0:
+				_, err = s.Submit(context.Background(), LaneInteractive, fn)
+			case 1:
+				_, err = s.Submit(context.Background(), LaneBatch, fn)
+			default:
+				_, err = s.SubmitWait(context.Background(), LaneBatch, fn)
+			}
 			if err != nil && !errors.Is(err, ErrBusy) {
 				t.Errorf("submit %d: %v", i, err)
 			}
@@ -197,17 +515,19 @@ func TestSchedulerConcurrentSubmitStress(t *testing.T) {
 // stable point queued+inflight+done equals exactly the accepted submissions
 // and a poller can never observe an idle service with work pending.
 func TestSchedulerGaugeInvariant(t *testing.T) {
-	s := NewScheduler(1, 2)
+	s := NewScheduler(1, 2, 1)
 	defer s.Close()
 	started := make(chan struct{}, 1)
 	release := make(chan struct{})
+	rel := releaser(release)
+	defer rel()
 
 	var wg sync.WaitGroup
 	for i := 0; i < 3; i++ { // one runs, two queue
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := s.Submit(context.Background(), blockingRun(started, release)); err != nil {
+			if _, err := s.Submit(context.Background(), LaneInteractive, blockingRun(started, release)); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -215,32 +535,29 @@ func TestSchedulerGaugeInvariant(t *testing.T) {
 			<-started // the first job occupies the worker
 		}
 	}
-	deadline := time.Now().Add(time.Second)
-	for s.QueueDepth() != 2 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
-	if q, f, d := s.QueueDepth(), s.InFlight(), s.Done(); q != 2 || f != 1 || d != 0 {
+	waitFor(t, "both queued jobs to register", func() bool {
+		return s.QueueDepth(LaneInteractive) == 2
+	})
+	if q, f, d := s.QueueDepth(LaneInteractive), s.InFlight(LaneInteractive), s.Done(LaneInteractive); q != 2 || f != 1 || d != 0 {
 		t.Fatalf("stable state queued=%d inflight=%d done=%d, want 2/1/0", q, f, d)
 	}
 	go func() { <-started; <-started }() // free the queued jobs' start signals
-	close(release)
+	rel()
 	wg.Wait()
-	for (s.Done() != 3 || s.InFlight() != 0) && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
-	if q, f, d := s.QueueDepth(), s.InFlight(), s.Done(); q != 0 || f != 0 || d != 3 {
+	waitFor(t, "the lane to drain", func() bool {
+		return s.Done(LaneInteractive) == 3 && s.InFlight(LaneInteractive) == 0
+	})
+	if q, f, d := s.QueueDepth(LaneInteractive), s.InFlight(LaneInteractive), s.Done(LaneInteractive); q != 0 || f != 0 || d != 3 {
 		t.Fatalf("drained state queued=%d inflight=%d done=%d, want 0/0/3", q, f, d)
 	}
 }
 
 // TestSchedulerGaugeInvariantHammer samples the gauges while submissions
-// churn (run with -race): a job whose submitter has seen it complete is
-// always still visible in in-flight or already in done, so
+// churn across both lanes (run with -race): a job whose submitter has seen
+// it complete is always still visible in in-flight or already in done, so
 // queued+inflight+done can never fall below a completed count read first.
-// The pre-fix scheduler had a window between channel receive and the
-// in-flight increment where a job was in neither gauge.
 func TestSchedulerGaugeInvariantHammer(t *testing.T) {
-	s := NewScheduler(4, 16)
+	s := NewScheduler(4, 16, 16)
 	defer s.Close()
 	var completed atomic.Int64
 	stop := make(chan struct{})
@@ -255,7 +572,8 @@ func TestSchedulerGaugeInvariantHammer(t *testing.T) {
 			default:
 			}
 			c := completed.Load()
-			sum := int64(s.QueueDepth()) + s.InFlight() + s.Done()
+			sum := int64(s.QueueDepth(LaneInteractive)) + s.InFlight(LaneInteractive) + s.Done(LaneInteractive) +
+				int64(s.QueueDepth(LaneBatch)) + s.InFlight(LaneBatch) + s.Done(LaneBatch)
 			if sum < c {
 				t.Errorf("queued+inflight+done = %d < completed %d: accepted work invisible", sum, c)
 				return
@@ -265,15 +583,19 @@ func TestSchedulerGaugeInvariantHammer(t *testing.T) {
 	var wg sync.WaitGroup
 	for i := 0; i < 200; i++ {
 		wg.Add(1)
-		go func() {
+		go func(i int) {
 			defer wg.Done()
-			_, err := s.Submit(context.Background(), func(context.Context) ([]byte, error) { return nil, nil })
+			ln := LaneInteractive
+			if i%2 == 1 {
+				ln = LaneBatch
+			}
+			_, err := s.Submit(context.Background(), ln, func(context.Context) ([]byte, error) { return nil, nil })
 			if err == nil {
 				completed.Add(1)
 			} else if !errors.Is(err, ErrBusy) {
 				t.Errorf("submit: %v", err)
 			}
-		}()
+		}(i)
 	}
 	wg.Wait()
 	close(stop)

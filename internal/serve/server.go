@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"runtime"
@@ -18,34 +19,53 @@ import (
 	"pario/internal/stats"
 )
 
-// Options configures a Server. Zero values select the defaults noted on
-// each field.
+// Options configures a Server. Zero and negative values select the
+// defaults noted on each field — a negative bound is never silently
+// clamped to a 1-deep queue or an already-expired timeout.
 type Options struct {
 	// Workers is the simulation worker-pool size (default: GOMAXPROCS).
 	Workers int
-	// QueueDepth is the admission queue bound; a full queue answers 429
-	// (default 64).
+	// QueueDepth is the interactive (/run) admission queue bound; a full
+	// queue answers 429 (default 64).
 	QueueDepth int
+	// BatchQueueDepth is the batch (/sweep) lane's queue bound. Sweep
+	// feeders block on it rather than shed, so it is flow control, not a
+	// failure bound (default 256).
+	BatchQueueDepth int
 	// CacheEntries bounds the LRU result cache (default 512).
 	CacheEntries int
 	// Timeout is the per-request ceiling, cancellation included; a
 	// request may ask for less via ?timeout_sec= but never more
 	// (default 60s).
 	Timeout time.Duration
+	// MaxSweepPoints bounds one sweep's expanded grid (default 4096).
+	MaxSweepPoints int
+	// MaxSweeps bounds concurrently streaming sweeps; excess sweeps are
+	// shed with 429 (default 4).
+	MaxSweeps int
 }
 
 func (o *Options) defaults() {
-	if o.Workers == 0 {
+	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
-	if o.QueueDepth == 0 {
+	if o.QueueDepth <= 0 {
 		o.QueueDepth = 64
 	}
-	if o.CacheEntries == 0 {
+	if o.BatchQueueDepth <= 0 {
+		o.BatchQueueDepth = 256
+	}
+	if o.CacheEntries <= 0 {
 		o.CacheEntries = 512
 	}
-	if o.Timeout == 0 {
+	if o.Timeout <= 0 {
 		o.Timeout = 60 * time.Second
+	}
+	if o.MaxSweepPoints <= 0 {
+		o.MaxSweepPoints = 4096
+	}
+	if o.MaxSweeps <= 0 {
+		o.MaxSweeps = 4
 	}
 }
 
@@ -79,6 +99,19 @@ type Server struct {
 	canceled atomic.Int64
 	failed   atomic.Int64
 
+	// Sweep counters: grids admitted, points expanded, and per-point
+	// outcomes. sweepPointsTotal counts post-dedupe points, so across a
+	// sweep sweep_points_total moves by exactly the streamed line count.
+	sweepsActive       atomic.Int64
+	sweepsTotal        atomic.Int64
+	sweepsRejected     atomic.Int64
+	sweepPointsTotal   atomic.Int64
+	sweepDedupedTotal  atomic.Int64
+	sweepSkippedTotal  atomic.Int64
+	sweepCachedTotal   atomic.Int64
+	sweepFailedTotal   atomic.Int64
+	sweepCanceledTotal atomic.Int64
+
 	// Work counters: what actually simulated. The cached path must leave
 	// runs untouched — that is the "never re-simulates" invariant the
 	// load smoke asserts.
@@ -88,8 +121,19 @@ type Server struct {
 
 	// runDurEWMA is an exponentially weighted moving average of recent run
 	// durations (real time, in ns), feeding the Retry-After estimate on
-	// 429s. Zero until the first run completes.
+	// 429s. Zero until the first run completes; retryAfterSec seeds a
+	// cold estimate from the oldest pending job's wait (see pending).
 	runDurEWMA atomic.Int64
+
+	// pending tracks the enqueue time of every request currently waiting
+	// on (or occupying) the scheduler, so a cold instance whose queue
+	// fills before any run completes can still derive a backlog-aware
+	// Retry-After from how long the head job has been waiting.
+	pending struct {
+		mu  sync.Mutex
+		seq int64
+		m   map[int64]time.Time
+	}
 
 	// errClasses counts failed runs by core.ErrorClass, the failure
 	// taxonomy surfaced in structured 500 bodies and /metrics.
@@ -110,12 +154,13 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:    opts,
 		cache:   NewCache(opts.CacheEntries),
-		sched:   NewScheduler(opts.Workers, opts.QueueDepth),
+		sched:   NewScheduler(opts.Workers, opts.QueueDepth, opts.BatchQueueDepth),
 		run:     Execute,
 		started: time.Now(),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/run", s.handleRun)
+	s.mux.HandleFunc("/sweep", s.handleSweep)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -188,6 +233,25 @@ func (s *Server) runJob(ctx context.Context, req Request, key string) ([]byte, e
 	return body, nil
 }
 
+// parseTimeoutSec validates a ?timeout_sec= value. Non-finite values and
+// values whose nanosecond conversion overflows time.Duration are rejected
+// outright — an overflowed conversion can yield a garbage (even negative)
+// deadline that would dodge the documented "never more than the server
+// Timeout" cap. Empty means no override.
+func parseTimeoutSec(v string) (time.Duration, error) {
+	if v == "" {
+		return 0, nil
+	}
+	sec, err := strconv.ParseFloat(v, 64)
+	if err != nil || math.IsNaN(sec) || math.IsInf(sec, 0) || sec <= 0 {
+		return 0, fmt.Errorf("parameter timeout_sec: %q", v)
+	}
+	if ns := sec * float64(time.Second); ns >= float64(math.MaxInt64) {
+		return 0, fmt.Errorf("parameter timeout_sec: %q overflows", v)
+	}
+	return time.Duration(sec * float64(time.Second)), nil
+}
+
 // decodeRequest reads a run request from JSON body (POST) or query
 // parameters (GET), plus the optional ?timeout_sec= override.
 func decodeRequest(r *http.Request) (Request, time.Duration, error) {
@@ -227,13 +291,9 @@ func decodeRequest(r *http.Request) (Request, time.Duration, error) {
 	default:
 		return Request{}, 0, fmt.Errorf("method %s not allowed", r.Method)
 	}
-	var timeout time.Duration
-	if v := r.URL.Query().Get("timeout_sec"); v != "" {
-		sec, err := strconv.ParseFloat(v, 64)
-		if err != nil || sec <= 0 {
-			return Request{}, 0, fmt.Errorf("parameter timeout_sec: %q", v)
-		}
-		timeout = time.Duration(sec * float64(time.Second))
+	timeout, err := parseTimeoutSec(r.URL.Query().Get("timeout_sec"))
+	if err != nil {
+		return Request{}, 0, err
 	}
 	return req, timeout, nil
 }
@@ -270,11 +330,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	untrack := s.trackPending()
 	body, err, leader := s.flight.Do(ctx, key, func() ([]byte, error) {
-		return s.sched.Submit(ctx, func(jctx context.Context) ([]byte, error) {
+		return s.sched.Submit(ctx, LaneInteractive, func(jctx context.Context) ([]byte, error) {
 			return s.runJob(jctx, canon, key)
 		})
 	})
+	untrack()
 	switch {
 	case err == nil:
 		if leader {
@@ -286,7 +348,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	case errors.Is(err, ErrBusy):
 		s.rejected.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSec()))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSec(LaneInteractive)))
 		http.Error(w, "queue full, retry later", http.StatusTooManyRequests)
 	case errors.Is(err, ErrDraining):
 		http.Error(w, "server draining", http.StatusServiceUnavailable)
@@ -317,16 +379,57 @@ func (s *Server) recordRunDur(d time.Duration) {
 	}
 }
 
-// retryAfterSec estimates when a shed request could plausibly be admitted:
-// the backlog ahead of it (queued plus in-flight) spread across the worker
-// pool at the recent mean run duration, rounded up and floored at 1s. With
-// no run history yet the floor stands alone.
-func (s *Server) retryAfterSec() int {
+// trackPending registers a request that is about to wait on the scheduler
+// and returns its untrack func. The oldest surviving entry's age seeds the
+// Retry-After estimate while the run-duration EWMA is still cold.
+func (s *Server) trackPending() func() {
+	s.pending.mu.Lock()
+	if s.pending.m == nil {
+		s.pending.m = make(map[int64]time.Time)
+	}
+	s.pending.seq++
+	id := s.pending.seq
+	s.pending.m[id] = time.Now()
+	s.pending.mu.Unlock()
+	return func() {
+		s.pending.mu.Lock()
+		delete(s.pending.m, id)
+		s.pending.mu.Unlock()
+	}
+}
+
+// oldestPendingAge returns how long the oldest still-pending request has
+// been waiting (zero when nothing is pending).
+func (s *Server) oldestPendingAge() time.Duration {
+	s.pending.mu.Lock()
+	defer s.pending.mu.Unlock()
+	var oldest time.Time
+	for _, t := range s.pending.m {
+		if oldest.IsZero() || t.Before(oldest) {
+			oldest = t
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return time.Since(oldest)
+}
+
+// retryAfterSec estimates when a shed request could plausibly be admitted
+// to lane ln: the lane's backlog (queued plus in-flight) spread across the
+// worker pool at the recent mean run duration, rounded up and floored at
+// 1s. A cold instance — queue full before any run has completed — seeds
+// the mean from the oldest pending job's wait, a lower bound on service
+// time; only a truly idle cold instance answers the bare floor.
+func (s *Server) retryAfterSec(ln Lane) int {
 	mean := time.Duration(s.runDurEWMA.Load())
+	if mean <= 0 {
+		mean = s.oldestPendingAge()
+	}
 	if mean <= 0 {
 		return 1
 	}
-	backlog := int64(s.sched.QueueDepth()) + s.sched.InFlight()
+	backlog := int64(s.sched.QueueDepth(ln)) + s.sched.InFlight(ln)
 	est := time.Duration(backlog+1) * mean / time.Duration(s.opts.Workers)
 	sec := int((est + time.Second - 1) / time.Second)
 	if sec < 1 {
@@ -388,10 +491,21 @@ type Metrics struct {
 	UptimeSec float64 `json:"uptime_sec"`
 	Draining  bool    `json:"draining"`
 
-	Workers       int   `json:"workers"`
+	Workers int `json:"workers"`
+
+	// Interactive (/run) lane gauges. QueueDepth includes only admitted
+	// jobs not yet running; a 429 is issued once it reaches QueueCapacity.
 	QueueCapacity int   `json:"queue_capacity"`
 	QueueDepth    int   `json:"queue_depth"`
 	InFlight      int64 `json:"in_flight"`
+	DoneTotal     int64 `json:"done_total"`
+
+	// Batch (/sweep) lane gauges. BatchQueueDepth includes sweep feeders
+	// still waiting for a slot — the lane's whole committed backlog.
+	BatchQueueCapacity int   `json:"batch_queue_capacity"`
+	BatchQueueDepth    int   `json:"batch_queue_depth"`
+	BatchInFlight      int64 `json:"batch_in_flight"`
+	BatchDoneTotal     int64 `json:"batch_done_total"`
 
 	RequestsTotal   int64 `json:"requests_total"`
 	CacheHits       int64 `json:"cache_hits"`
@@ -401,6 +515,19 @@ type Metrics struct {
 	BadRequestTotal int64 `json:"bad_request_total"`
 	CanceledTotal   int64 `json:"canceled_total"`
 	ErrorTotal      int64 `json:"error_total"`
+
+	// Sweep counters. SweepPointsTotal counts expanded post-dedupe points
+	// (== streamed result lines); deduped and skipped grid combinations
+	// are tallied separately.
+	SweepsTotal             int64 `json:"sweeps_total"`
+	SweepsActive            int64 `json:"sweeps_active"`
+	SweepsRejectedTotal     int64 `json:"sweeps_rejected_total"`
+	SweepPointsTotal        int64 `json:"sweep_points_total"`
+	SweepPointsDedupedTotal int64 `json:"sweep_points_deduped_total"`
+	SweepPointsSkippedTotal int64 `json:"sweep_points_skipped_total"`
+	SweepPointsCachedTotal  int64 `json:"sweep_points_cached_total"`
+	SweepPointsFailedTotal  int64 `json:"sweep_points_failed_total"`
+	SweepCanceledTotal      int64 `json:"sweep_canceled_total"`
 
 	CacheEntries   int   `json:"cache_entries"`
 	CacheEvictions int64 `json:"cache_evictions"`
@@ -425,12 +552,20 @@ type Metrics struct {
 func (s *Server) MetricsSnapshot() Metrics {
 	_, _, evictions := s.cache.Counters()
 	m := Metrics{
-		UptimeSec:       time.Since(s.started).Seconds(),
-		Draining:        s.draining.Load(),
-		Workers:         s.opts.Workers,
-		QueueCapacity:   s.opts.QueueDepth,
-		QueueDepth:      s.sched.QueueDepth(),
-		InFlight:        s.sched.InFlight(),
+		UptimeSec: time.Since(s.started).Seconds(),
+		Draining:  s.draining.Load(),
+		Workers:   s.opts.Workers,
+
+		QueueCapacity: s.opts.QueueDepth,
+		QueueDepth:    s.sched.QueueDepth(LaneInteractive),
+		InFlight:      s.sched.InFlight(LaneInteractive),
+		DoneTotal:     s.sched.Done(LaneInteractive),
+
+		BatchQueueCapacity: s.opts.BatchQueueDepth,
+		BatchQueueDepth:    s.sched.QueueDepth(LaneBatch),
+		BatchInFlight:      s.sched.InFlight(LaneBatch),
+		BatchDoneTotal:     s.sched.Done(LaneBatch),
+
 		RequestsTotal:   s.requests.Load(),
 		CacheHits:       s.hit.Load(),
 		CacheMisses:     s.miss.Load(),
@@ -439,6 +574,17 @@ func (s *Server) MetricsSnapshot() Metrics {
 		BadRequestTotal: s.badReq.Load(),
 		CanceledTotal:   s.canceled.Load(),
 		ErrorTotal:      s.failed.Load(),
+
+		SweepsTotal:             s.sweepsTotal.Load(),
+		SweepsActive:            s.sweepsActive.Load(),
+		SweepsRejectedTotal:     s.sweepsRejected.Load(),
+		SweepPointsTotal:        s.sweepPointsTotal.Load(),
+		SweepPointsDedupedTotal: s.sweepDedupedTotal.Load(),
+		SweepPointsSkippedTotal: s.sweepSkippedTotal.Load(),
+		SweepPointsCachedTotal:  s.sweepCachedTotal.Load(),
+		SweepPointsFailedTotal:  s.sweepFailedTotal.Load(),
+		SweepCanceledTotal:      s.sweepCanceledTotal.Load(),
+
 		CacheEntries:    s.cache.Len(),
 		CacheEvictions:  evictions,
 		RunsTotal:       s.runs.Load(),

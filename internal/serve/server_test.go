@@ -184,15 +184,18 @@ func TestServerBackpressure429(t *testing.T) {
 	s := New(Options{Workers: 1, QueueDepth: 1})
 	started := make(chan string, 4)
 	release := make(chan struct{})
+	rel := releaser(release)
 	s.run = fakeRun(started, release)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.sched.Close()
+	defer rel()
 
 	var wg sync.WaitGroup
 	// Distinct requests so singleflight cannot collapse them: one
-	// occupies the worker, one the queue slot.
-	for _, procs := range []int{4, 9} {
+	// occupies the worker, one the queue slot. Serialized so the second
+	// cannot race the worker's dequeue of the first and get shed itself.
+	for i, procs := range []int{4, 9} {
 		wg.Add(1)
 		go func(procs int) {
 			defer wg.Done()
@@ -201,12 +204,13 @@ func TestServerBackpressure429(t *testing.T) {
 				t.Errorf("procs %d: status %d: %s", procs, resp.StatusCode, body)
 			}
 		}(procs)
+		if i == 0 {
+			<-started // worker busy
+		}
 	}
-	<-started // worker busy
-	deadline := time.Now().Add(2 * time.Second)
-	for s.sched.QueueDepth() == 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
+	waitFor(t, "the queue slot to fill", func() bool {
+		return s.sched.QueueDepth(LaneInteractive) == 1
+	})
 
 	resp, _ := postRun(t, ts, `{"app":"btio","procs":16}`)
 	if resp.StatusCode != http.StatusTooManyRequests {
@@ -216,7 +220,7 @@ func TestServerBackpressure429(t *testing.T) {
 		t.Fatal("429 without Retry-After")
 	}
 
-	close(release)
+	rel()
 	wg.Wait()
 
 	// Recovery: the same request now gets served.
@@ -478,18 +482,21 @@ func TestRetryAfterGrowsUnderOverload(t *testing.T) {
 	s := New(Options{Workers: 1, QueueDepth: 2})
 	started := make(chan string, 4)
 	release := make(chan struct{})
+	rel := releaser(release)
 	s.run = fakeRun(started, release)
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.sched.Close()
+	defer rel()
 
-	if got := s.retryAfterSec(); got != 1 {
+	if got := s.retryAfterSec(LaneInteractive); got != 1 {
 		t.Fatalf("idle, no history: retryAfterSec = %d, want the 1s floor", got)
 	}
 
 	// Distinct requests: one occupies the worker, two the queue slots.
+	// The first is serialized so the queued pair cannot race its dequeue.
 	var wg sync.WaitGroup
-	for _, procs := range []int{4, 9, 16} {
+	for i, procs := range []int{4, 9, 16} {
 		wg.Add(1)
 		go func(procs int) {
 			defer wg.Done()
@@ -498,12 +505,13 @@ func TestRetryAfterGrowsUnderOverload(t *testing.T) {
 				t.Errorf("procs %d: status %d: %s", procs, resp.StatusCode, body)
 			}
 		}(procs)
+		if i == 0 {
+			<-started
+		}
 	}
-	<-started
-	deadline := time.Now().Add(2 * time.Second)
-	for s.sched.QueueDepth() < 2 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
-	}
+	waitFor(t, "both queue slots to fill", func() bool {
+		return s.sched.QueueDepth(LaneInteractive) == 2
+	})
 
 	s.recordRunDur(10 * time.Second) // recent runs are slow
 	resp, _ := postRun(t, ts, `{"app":"btio","procs":25}`)
@@ -529,7 +537,7 @@ func TestRetryAfterGrowsUnderOverload(t *testing.T) {
 		t.Fatalf("fast-run Retry-After = %q, want the 1s floor", got)
 	}
 
-	close(release)
+	rel()
 	wg.Wait()
 }
 
@@ -611,4 +619,125 @@ func TestServerFaultedRunTaxonomy(t *testing.T) {
 	if m.RunsTotal != 2 {
 		t.Fatalf("runs_total = %d, want 2 (healthy + faulted attempt)", m.RunsTotal)
 	}
+}
+
+// TestOptionsDefaultsClampNegatives is the satellite bugfix check: negative
+// bounds select the documented defaults instead of leaking into a 1-deep
+// queue or an already-expired timeout.
+func TestOptionsDefaultsClampNegatives(t *testing.T) {
+	o := Options{
+		Workers: -3, QueueDepth: -1, BatchQueueDepth: -7, CacheEntries: -2,
+		Timeout: -time.Second, MaxSweepPoints: -5, MaxSweeps: -1,
+	}
+	o.defaults()
+	var want Options
+	want.defaults()
+	if o != want {
+		t.Fatalf("negative options = %+v, want the defaults %+v", o, want)
+	}
+	if want.QueueDepth != 64 || want.BatchQueueDepth != 256 ||
+		want.CacheEntries != 512 || want.Timeout != 60*time.Second ||
+		want.MaxSweepPoints != 4096 || want.MaxSweeps != 4 {
+		t.Fatalf("documented defaults drifted: %+v", want)
+	}
+}
+
+// TestTimeoutSecRejectsOverflow is the satellite regression for the
+// duration-overflow bug: non-finite and overflowing ?timeout_sec= values are
+// 400s, and a huge-but-finite ask never raises the server's own ceiling.
+func TestTimeoutSecRejectsOverflow(t *testing.T) {
+	for _, v := range []string{"1e308", "9e18", "NaN", "+Inf", "-Inf", "-1", "0", "forever"} {
+		if d, err := parseTimeoutSec(v); err == nil {
+			t.Errorf("timeout_sec=%s accepted as %v", v, d)
+		}
+	}
+	if d, err := parseTimeoutSec("0.25"); err != nil || d != 250*time.Millisecond {
+		t.Fatalf("timeout_sec=0.25 = %v, %v", d, err)
+	}
+
+	s := New(Options{Workers: 1, QueueDepth: 2, Timeout: 50 * time.Millisecond})
+	s.run = fakeRun(nil, nil) // wedges until its deadline
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.sched.Close()
+
+	resp, _ := postRun(t, ts, `{"app":"fft","procs":4,"timeout_sec":1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("timeout_sec in body: status %d, want 400 (query-only parameter)", resp.StatusCode)
+	}
+	for _, q := range []string{"timeout_sec=1e308", "timeout_sec=NaN"} {
+		resp, err := http.Post(ts.URL+"/run?"+q, "application/json",
+			strings.NewReader(`{"app":"fft","procs":4}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+
+	// A finite but enormous ask is capped by the server Timeout: the wedged
+	// run must be cut off by the 50ms ceiling, not wait out 1e6 seconds.
+	start := time.Now()
+	resp2, err := http.Post(ts.URL+"/run?timeout_sec=1000000", "application/json",
+		strings.NewReader(`{"app":"fft","procs":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("huge timeout ask: status %d, want 504 at the server cap", resp2.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("server cap not enforced: request ran %v", elapsed)
+	}
+}
+
+// TestRetryAfterColdSeed is the cold-EWMA satellite: an instance whose queue
+// fills before any run completes derives Retry-After from how long the head
+// job has been waiting, instead of answering the bare floor forever.
+func TestRetryAfterColdSeed(t *testing.T) {
+	s := New(Options{Workers: 1, QueueDepth: 1})
+	started := make(chan string, 2)
+	release := make(chan struct{})
+	rel := releaser(release)
+	s.run = fakeRun(started, release)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.sched.Close()
+	defer rel()
+
+	var wg sync.WaitGroup
+	for i, procs := range []int{4, 9} {
+		wg.Add(1)
+		go func(procs int) {
+			defer wg.Done()
+			resp, body := postRun(t, ts, fmt.Sprintf(`{"app":"btio","procs":%d}`, procs))
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("procs %d: status %d: %s", procs, resp.StatusCode, body)
+			}
+		}(procs)
+		if i == 0 {
+			<-started // worker busy, no run has ever completed
+		}
+	}
+	waitFor(t, "the queue slot to fill", func() bool {
+		return s.sched.QueueDepth(LaneInteractive) == 1
+	})
+
+	// Head job has waited >= 400ms: with one in flight and one queued, the
+	// seeded estimate is (2+1) x 400ms / 1 worker = 1.2s -> at least 2s,
+	// strictly above the 1s cold floor.
+	time.Sleep(400 * time.Millisecond)
+	if got := s.retryAfterSec(LaneInteractive); got < 2 {
+		t.Fatalf("cold retryAfterSec = %d, want >= 2 (seeded from pending wait)", got)
+	}
+	// The batch lane is idle, but the pending-age seed still applies to its
+	// own (empty) backlog: (0+1) x age / 1 worker -> at least 1.
+	if got := s.retryAfterSec(LaneBatch); got < 1 {
+		t.Fatalf("batch retryAfterSec = %d, want >= 1", got)
+	}
+	rel()
+	wg.Wait()
 }

@@ -1,0 +1,89 @@
+#!/bin/sh
+# sweepsmoke.sh — end-to-end smoke of the /sweep batch path.
+#
+# Usage:
+#   scripts/sweepsmoke.sh
+#
+# Builds pariod and pariobench, starts the daemon on an ephemeral port, and
+# walks the sweep contract over a paper-shaped grid:
+#   1. GET /sweep streams one NDJSON line per expanded point plus a done
+#      summary; the X-Pario-Sweep-Points header agrees with the line count
+#   2. invalid partitions in a range (ionodes=1..16 on the large Paragon)
+#      are skipped and counted, not errors
+#   3. pariobench -sweep holds the full contract: runs_total delta == cold
+#      points, bodies byte-identical via /run, repeat sweep all-cache
+#   4. interactive /run during the sweep aftermath still answers from the
+#      seeded cache (the sweep warmed it)
+#   5. per-lane /metrics gauges exist and the sweep counters moved
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "sweepsmoke: building..."
+go build -o "$tmp/pariod" ./cmd/pariod
+go build -o "$tmp/pariobench" ./cmd/pariobench
+
+"$tmp/pariod" -addr 127.0.0.1:0 -workers 4 -batch-queue 32 >"$tmp/pariod.log" 2>&1 &
+daemon_pid=$!
+
+base=""
+for _ in $(seq 1 100); do
+    base=$(sed -n 's,^pariod: listening on \(http://[^ ]*\)$,\1,p' "$tmp/pariod.log")
+    [ -n "$base" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { cat "$tmp/pariod.log"; echo "sweepsmoke: FAIL: daemon died on startup"; exit 1; }
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "sweepsmoke: FAIL: daemon never bound"; exit 1; }
+echo "sweepsmoke: daemon up at $base"
+
+metric() {
+    curl -fsS "$base/metrics" | sed -n "s/.*\"$1\": *\([0-9]*\).*/\1/p"
+}
+
+# 1-2. A ranged sweep: scf11 over ionodes=1..16 keeps only the {12,16}
+# partitions the large Paragon offers and skips the other 14 combinations.
+curl -fsS -D "$tmp/h1" -o "$tmp/s1" "$base/sweep?app=scf11&input=SMALL&ionodes=1..16"
+points=$(sed -n 's/^[Xx]-[Pp]ario-[Ss]weep-[Pp]oints: *\([0-9]*\).*/\1/p' "$tmp/h1")
+skipped=$(sed -n 's/^[Xx]-[Pp]ario-[Ss]weep-[Ss]kipped: *\([0-9]*\).*/\1/p' "$tmp/h1")
+[ "$points" = 2 ] || { echo "sweepsmoke: FAIL: expanded $points points, want 2"; cat "$tmp/h1"; exit 1; }
+[ "$skipped" = 14 ] || { echo "sweepsmoke: FAIL: skipped $skipped combinations, want 14"; exit 1; }
+nlines=$(wc -l <"$tmp/s1")
+[ "$nlines" = 3 ] || { echo "sweepsmoke: FAIL: stream has $nlines lines, want 2 points + summary"; cat "$tmp/s1"; exit 1; }
+grep -q '"done":true' "$tmp/s1" || { echo "sweepsmoke: FAIL: no done summary"; cat "$tmp/s1"; exit 1; }
+echo "sweepsmoke: ranged sweep expanded to $points valid partitions ($skipped skipped)"
+
+# 3. The bench sweep drive asserts the cluster invariants end to end.
+"$tmp/pariobench" -addr "${base#http://}" -sweep 'app=fft&procs=1,2,4&opt=both'
+
+# 4. The sweep seeded the cache: the same point via /run is a hit.
+curl -fsS -D "$tmp/h2" -o /dev/null "$base/run?app=fft&procs=2&opt=true"
+grep -qi '^x-pario-cache: hit' "$tmp/h2" || { echo "sweepsmoke: FAIL: /run after sweep missed the seeded cache"; cat "$tmp/h2"; exit 1; }
+echo "sweepsmoke: sweep-seeded cache serves interactive /run as a hit"
+
+# 5. Per-lane gauges and sweep counters are live.
+sweeps=$(metric sweeps_total)
+swpoints=$(metric sweep_points_total)
+[ "$sweeps" -ge 3 ] || { echo "sweepsmoke: FAIL: sweeps_total=$sweeps, want >= 3"; exit 1; }
+[ "$swpoints" -ge 14 ] || { echo "sweepsmoke: FAIL: sweep_points_total=$swpoints, want >= 14"; exit 1; }
+for g in batch_queue_depth batch_in_flight queue_depth in_flight; do
+    v=$(metric "$g")
+    [ "$v" = 0 ] || { echo "sweepsmoke: FAIL: idle gauge $g=$v, want 0"; exit 1; }
+done
+echo "sweepsmoke: lane gauges idle, sweeps_total=$sweeps sweep_points_total=$swpoints"
+
+kill -TERM "$daemon_pid"
+rc=0
+wait "$daemon_pid" || rc=$?
+daemon_pid=""
+[ "$rc" = 0 ] || { echo "sweepsmoke: FAIL: daemon exited $rc"; cat "$tmp/pariod.log"; exit 1; }
+grep -q 'pariod: drained' "$tmp/pariod.log" || { echo "sweepsmoke: FAIL: no drain confirmation"; cat "$tmp/pariod.log"; exit 1; }
+echo "sweepsmoke: graceful drain confirmed"
+echo "sweepsmoke: OK"
