@@ -11,10 +11,16 @@
 //	iosim -app ast -procs 32 -ionodes 64 -opt
 //	iosim -app fft -procs 8 -json        # the pariod wire encoding
 //	iosim -app ast -procs 16 -faults "disk:0:degrade=8@t=0.5s..2s;retry=4"
+//	iosim -app btio -procs 64 -opt -estimate   # analytic roofline, no simulation
 //
 // -json emits the exact request/report encoding the pariod service serves
 // (one shared codec in internal/serve), so CLI and server outputs are
 // byte-identical for the same configuration.
+//
+// -estimate answers the analytic roofline prediction instead of running the
+// simulation: predicted elapsed time, per-layer bytes and the binding
+// bottleneck, in microseconds. With -json it emits the exact body
+// pariod's /run?mode=estimate serves.
 package main
 
 import (
@@ -39,8 +45,13 @@ func main() {
 		class    = flag.String("class", "A", "btio class: A | B")
 		faults   = flag.String("faults", "", `fault plan, e.g. "disk:0:degrade=8@t=1.5s..4s;retry=4" (see internal/fault)`)
 		jsonFlag = flag.Bool("json", false, "emit the pariod service's JSON encoding instead of the text report")
+		estimate = flag.Bool("estimate", false, "answer the analytic roofline estimate instead of simulating")
 	)
 	flag.Parse()
+
+	if *estimate {
+		os.Exit(runEstimate(*app, *procs, *ionodes, *opt, *input, *version, *cached, *class, *faults, *jsonFlag))
+	}
 
 	req, rep, err := run(*app, *procs, *ionodes, *opt, *input, *version, *cached, *class, *faults)
 	if err != nil {
@@ -64,6 +75,58 @@ func main() {
 		float64(rep.BytesRead)/1e6, float64(rep.BytesWritten)/1e6)
 	fmt.Printf("bandwidth:   %.2f MB/s\n\n", rep.BandwidthMBs())
 	fmt.Println(rep.Trace.Table(rep.ExecSec * float64(rep.Procs)))
+}
+
+// runEstimate prices the flag tuple analytically through the same
+// canonicalize → estimate path pariod's /run?mode=estimate takes.
+func runEstimate(app string, procs, ionodes int, opt bool, input, version string, cached int, class, faults string, jsonOut bool) int {
+	req, err := serve.Canonicalize(serve.Request{
+		App:       app,
+		Procs:     procs,
+		IONodes:   ionodes,
+		Opt:       opt,
+		Input:     input,
+		Version:   version,
+		CachedPct: cached,
+		Class:     class,
+		Faults:    faults,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iosim: %v (%s)\n", err, core.ErrorClass(err))
+		return 1
+	}
+	est, err := serve.EstimateFor(req)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iosim: %v (%s)\n", err, core.ErrorClass(err))
+		return 1
+	}
+	if jsonOut {
+		body, err := serve.EncodeEstimate(req, est)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iosim: %v\n", err)
+			return 1
+		}
+		os.Stdout.Write(body)
+		return 0
+	}
+	fmt.Printf("machine:     %s (analytic estimate)\n", est.Machine)
+	fmt.Printf("processes:   %d (on %d I/O nodes)\n", est.Procs, est.IONodes)
+	fmt.Printf("predicted:   %.2f s elapsed (%.2f s compute, %.2f s I/O)\n",
+		est.ElapsedSec, est.ComputeSec, est.IOSec)
+	fmt.Printf("bottleneck:  %s\n", est.Bottleneck)
+	fmt.Printf("ceilings:    overhead %.2f s, seek %.2f s, disk %.2f s, link %.2f s\n",
+		est.OverheadSec, est.SeekSec, est.DiskSec, est.LinkSec)
+	fmt.Printf("volume:      %.1f MB client, %.1f MB link, %.1f MB disk\n",
+		float64(est.ClientBytes)/1e6, float64(est.LinkBytes)/1e6, float64(est.DiskBytes)/1e6)
+	fmt.Printf("bandwidth:   %.2f MB/s\n\n", est.BandwidthMBs)
+	for _, ph := range est.Phases {
+		over := ""
+		if ph.Overlapped {
+			over = " (overlapped)"
+		}
+		fmt.Printf("  %-12s %10.2f s  %s%s\n", ph.Name, ph.ElapsedSec, ph.Bound, over)
+	}
+	return 0
 }
 
 // run canonicalizes the flag tuple into a serve.Request and executes it

@@ -11,12 +11,18 @@
 // byte-identical to the same point served via /run, and a repeat sweep that
 // is all cache hits and re-simulates nothing.
 //
+// With -estimate it drives /run?mode=estimate and verifies the estimate
+// contract: N analytic answers, runs_total unmoved (an estimate never
+// consumes a scheduler slot), estimates_total moving by exactly N, and a
+// client-observed p99 latency under the -p99 bound (default 1ms).
+//
 // Usage:
 //
 //	pariobench                          # spawn an in-process server
 //	pariobench -addr 127.0.0.1:8080     # drive a running daemon
 //	pariobench -n 200 -c 16 -hot 0.9
 //	pariobench -sweep 'app=fft&procs=1,2,4&opt=both'
+//	pariobench -estimate -n 500
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -44,11 +51,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pariobench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr  = fs.String("addr", "", "daemon address; empty spawns an in-process server")
-		n     = fs.Int("n", 60, "total requests to fire")
-		c     = fs.Int("c", 8, "concurrent clients")
-		hot   = fs.Float64("hot", 0.8, "fraction of requests drawn from the small hot set")
-		sweep = fs.String("sweep", "", "sweep spec as /sweep query parameters; runs the sweep drive instead of the mixed stream")
+		addr     = fs.String("addr", "", "daemon address; empty spawns an in-process server")
+		n        = fs.Int("n", 60, "total requests to fire")
+		c        = fs.Int("c", 8, "concurrent clients")
+		hot      = fs.Float64("hot", 0.8, "fraction of requests drawn from the small hot set")
+		sweep    = fs.String("sweep", "", "sweep spec as /sweep query parameters; runs the sweep drive instead of the mixed stream")
+		estimate = fs.Bool("estimate", false, "drive /run?mode=estimate and verify the estimate contract")
+		p99Bound = fs.Duration("p99", time.Millisecond, "estimate drive: maximum acceptable p99 latency")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -77,6 +86,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	if *sweep != "" {
 		return sweepDrive(base, *sweep, stdout, stderr)
+	}
+	if *estimate {
+		return estimateDrive(base, *n, *p99Bound, stdout, stderr)
 	}
 
 	before, err := fetchMetrics(base)
@@ -298,6 +310,109 @@ func sweepDrive(base, spec string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// estimateDrive fires n sequential /run?mode=estimate requests over a
+// deterministic mix of the request space and checks the estimate contract:
+// every answer 200, runs_total unmoved (the analytic path never consumes a
+// scheduler slot), estimates_total moved by exactly n, and the
+// client-observed p99 latency under bound.
+func estimateDrive(base string, n int, bound time.Duration, stdout, stderr io.Writer) int {
+	before, err := fetchMetrics(base)
+	if err != nil {
+		fmt.Fprintf(stderr, "pariobench: %v\n", err)
+		return 1
+	}
+
+	// A deterministic walk across apps and parameters: repeats make cache
+	// hits, the rotating scf30 ratio makes cold closed-form evaluations.
+	reqFor := func(i int) serve.Request {
+		switch i % 6 {
+		case 0:
+			return serve.Request{App: "scf11", Input: "SMALL"}
+		case 1:
+			return serve.Request{App: "scf11", Input: "LARGE", Version: "prefetch", Procs: 16}
+		case 2:
+			return serve.Request{App: "fft", Procs: 8, Opt: true}
+		case 3:
+			return serve.Request{App: "btio", Procs: 16, Opt: i%2 == 0}
+		case 4:
+			return serve.Request{App: "ast", Procs: 16}
+		default:
+			return serve.Request{App: "scf30", CachedPct: 1 + i%89}
+		}
+	}
+
+	lats := make([]time.Duration, 0, n)
+	var hits, misses int
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		outcome, err := fireMode(base, reqFor(i), "estimate")
+		lat := time.Since(t0)
+		if err != nil {
+			fmt.Fprintf(stderr, "pariobench: estimate %d: %v\n", i, err)
+			return 1
+		}
+		lats = append(lats, lat)
+		if outcome == "hit" {
+			hits++
+		} else {
+			misses++
+		}
+	}
+	elapsed := time.Since(start)
+
+	after, err := fetchMetrics(base)
+	if err != nil {
+		fmt.Fprintf(stderr, "pariobench: %v\n", err)
+		return 1
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	p50 := lats[len(lats)/2]
+	idx := (len(lats) * 99) / 100
+	if idx >= len(lats) {
+		idx = len(lats) - 1
+	}
+	p99 := lats[idx]
+	fmt.Fprintf(stdout, "pariobench: %d estimates in %.3fs (%.0f est/s), %d cold, %d hits\n",
+		n, elapsed.Seconds(), float64(n)/elapsed.Seconds(), misses, hits)
+	fmt.Fprintf(stdout, "pariobench: estimate latency p50 %s, p99 %s\n", p50, p99)
+
+	if runs := after.RunsTotal - before.RunsTotal; runs != 0 {
+		fmt.Fprintf(stderr, "pariobench: FAIL: estimate drive moved runs_total by %d — an estimate consumed a scheduler slot\n", runs)
+		return 1
+	}
+	if got := after.EstimatesTotal - before.EstimatesTotal; got != int64(n) {
+		fmt.Fprintf(stderr, "pariobench: FAIL: estimates_total moved by %d, want %d\n", got, n)
+		return 1
+	}
+	if p99 > bound {
+		fmt.Fprintf(stderr, "pariobench: FAIL: estimate p99 latency %s exceeds %s\n", p99, bound)
+		return 1
+	}
+	fmt.Fprintln(stdout, "pariobench: OK: estimates never simulate, runs_total unmoved, p99 under bound")
+	return 0
+}
+
+// fireMode posts one run request with a ?mode= selector and returns its
+// X-Pario-Cache outcome.
+func fireMode(base string, req serve.Request, mode string) (string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.Post(base+"/run?mode="+mode, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return resp.Header.Get("X-Pario-Cache"), nil
+}
+
 // fireSweep streams one /sweep and returns its point lines, summary, and
 // the X-Pario-Sweep-Points header.
 func fireSweep(base, spec string) ([]serve.SweepLine, serve.SweepSummary, int, error) {
@@ -361,6 +476,7 @@ type metrics struct {
 	RunsTotal        int64 `json:"runs_total"`
 	CacheHits        int64 `json:"cache_hits"`
 	SweepPointsTotal int64 `json:"sweep_points_total"`
+	EstimatesTotal   int64 `json:"estimates_total"`
 }
 
 func fetchMetrics(base string) (metrics, error) {

@@ -20,6 +20,13 @@
 //	GET  /healthz
 //	GET  /metrics
 //
+// Both /run and /sweep also take ?mode=estimate: the request (or the whole
+// expanded grid) is answered from the analytic roofline model instead of
+// simulating — inline, in microseconds, without consuming a scheduler
+// slot. Estimates are cached under mode-marked keys disjoint from the
+// exact results; fault-plan requests answer a structured 422
+// (estimate_unsupported).
+//
 // SIGINT/SIGTERM drain gracefully: in-flight runs finish and their
 // responses are written in full before the process exits.
 package main

@@ -1,0 +1,16 @@
+package ast
+
+// Exported closed-form workload counts for the analytic estimator
+// (internal/roofline); see the matching comment in scf/counts.go.
+const (
+	// ElemBytes is one double-precision element.
+	ElemBytes = elemBytes
+	// ChameleonChunkBytes is the funnel library's internal chunk size.
+	ChameleonChunkBytes = chameleonChunk
+	// SolverFlopsPerPoint is the per-gridpoint arithmetic between dumps.
+	SolverFlopsPerPoint = solverFlopsPerPoint
+	// DefaultN, DefaultArrays and DefaultDumps are Config's defaults.
+	DefaultN      = 2048
+	DefaultArrays = 5
+	DefaultDumps  = 12
+)

@@ -1,0 +1,14 @@
+package btio
+
+// Exported closed-form workload counts for the analytic estimator
+// (internal/roofline); see the matching comment in scf/counts.go.
+const (
+	// Components is the number of solution components per grid point.
+	Components = comp
+	// ElemBytes is one double-precision element.
+	ElemBytes = elemBytes
+	// StepsPerDumpCount is how many timesteps separate solution dumps.
+	StepsPerDumpCount = stepsPerDump
+	// StepFlopsPerPoint is BT's per-gridpoint arithmetic per timestep.
+	StepFlopsPerPoint = stepFlopsPerPoint
+)

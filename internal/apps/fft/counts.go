@@ -1,0 +1,39 @@
+package fft
+
+import "math"
+
+// Exported closed-form workload counts for the analytic estimator
+// (internal/roofline); see the matching comment in scf/counts.go.
+const (
+	// ElemBytes is one complex double-precision element.
+	ElemBytes = elemBytes
+	// DefaultN and DefaultBufferBytes are Config's problem-size defaults.
+	DefaultN           = 4096
+	DefaultBufferBytes = 8 << 20
+)
+
+// FFTFlops is the arithmetic of one 1-D complex FFT of length n.
+func FFTFlops(n int64) float64 { return fftFlops(n) }
+
+// PanelCols is the column width of the sequential sweeps (steps 1 and 3):
+// as many full columns as fit the buffer.
+func PanelCols(bufferBytes, n int64) int64 {
+	p := bufferBytes / (n * elemBytes)
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// TransposeTile is the square tile edge of the unoptimized transpose
+// (source and destination buffers split the memory).
+func TransposeTile(bufferBytes, n int64) int64 {
+	t := int64(math.Sqrt(float64(bufferBytes) / (2 * elemBytes)))
+	if t > n {
+		t = n
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
+}

@@ -188,14 +188,35 @@ func (s *System) RunRanksCtx(ctx context.Context, body func(p *sim.Proc, rank in
 	return wall, nil
 }
 
+// classifiedError carries an explicit taxonomy class chosen by the layer
+// that produced the error (see Classify).
+type classifiedError struct {
+	class string
+	err   error
+}
+
+func (e *classifiedError) Error() string { return e.err.Error() }
+func (e *classifiedError) Unwrap() error { return e.err }
+
+// Classify wraps err with an explicit taxonomy class, letting layers above
+// the simulation (e.g. the serving estimate path's "estimate_unsupported")
+// extend the ErrorClass vocabulary without this package enumerating them.
+func Classify(class string, err error) error {
+	return &classifiedError{class: class, err: err}
+}
+
 // ErrorClass maps a run error to the stable failure taxonomy shared by the
 // degraded-mode artifact and pariod's /metrics: "ok" (nil), "disk_failed",
 // "ionode_crashed", "io_timeout", "canceled", "deadlock", or "internal"
-// for anything unrecognized.
+// for anything unrecognized. Errors wrapped by Classify answer their
+// explicit class.
 func ErrorClass(err error) string {
+	var ce *classifiedError
 	switch {
 	case err == nil:
 		return "ok"
+	case errors.As(err, &ce):
+		return ce.class
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		return "canceled"
 	case errors.Is(err, disk.ErrFailed):

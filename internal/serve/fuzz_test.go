@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"testing"
+)
+
+// FuzzSweepGrammar fuzzes the sweep range grammar end to end through
+// ExpandSweep. The invariants under arbitrary term lists:
+//
+//  1. no panic — every malformed term is a returned error,
+//  2. a successful expansion never exceeds the point cap,
+//  3. expansion is deterministic and dedupe is stable: a second expansion
+//     of the same spec yields the same points in the same order, and no
+//     content address appears twice.
+//
+// Seed corpus: the grammar's documented forms plus known edge shapes
+// (descending ranges, zero steps, huge factors, empty terms) live in
+// testdata/fuzz/FuzzSweepGrammar.
+func FuzzSweepGrammar(f *testing.F) {
+	seeds := [][8]string{
+		{"fft", "1,2,4", "1..16", "both", "", "", "", ""},
+		{"scf11", "4..256..x2", "12,16,64", "", "SMALL,LARGE", "original,prefetch", "", ""},
+		{"scf30", "8", "16", "", "MEDIUM", "", "10..90..20", ""},
+		{"btio", "1..64", "", "true,false", "", "", "", "A,B"},
+		{"ast", "0..3", "1..100..7", "banana", "", "", "", ""},
+		{"fft", "4..1", "", "", "", "", "", ""},           // descending range
+		{"fft", "1..8..0", "", "", "", "", "", ""},        // zero step
+		{"fft", "0..8..x2", "", "", "", "", "", ""},       // multiplicative from 0
+		{"fft", "1..1000000..x2", "", "", "", "", "", ""}, // huge range
+		{"", "1", "1", "", "", "", "", ""},                // missing app
+		{"fft", "1,,2", " 1 .. 4 ", "", "", "", "", ""},   // empty + padded terms
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7])
+	}
+	const maxPoints = 128
+	f.Fuzz(func(t *testing.T, app, procs, ionodes, opt, input, version, cachedPct, class string) {
+		spec := SweepSpec{
+			App: app, Procs: procs, IONodes: ionodes, Opt: opt,
+			Input: input, Version: version, CachedPct: cachedPct, Class: class,
+		}
+		points, skipped, deduped, err := ExpandSweep(spec, maxPoints)
+		if err != nil {
+			// Errors are the grammar's job; they just must not be panics.
+			return
+		}
+		if len(points) == 0 || len(points) > maxPoints {
+			t.Fatalf("expansion has %d points, want 1..%d", len(points), maxPoints)
+		}
+		seen := make(map[string]struct{}, len(points))
+		for i, p := range points {
+			if p.Index != i {
+				t.Fatalf("point %d carries index %d", i, p.Index)
+			}
+			if _, dup := seen[p.Key]; dup {
+				t.Fatalf("content address %s appears twice after dedupe", p.Key)
+			}
+			seen[p.Key] = struct{}{}
+		}
+		points2, skipped2, deduped2, err2 := ExpandSweep(spec, maxPoints)
+		if err2 != nil {
+			t.Fatalf("second expansion errored: %v", err2)
+		}
+		if len(points2) != len(points) || skipped2 != skipped || deduped2 != deduped {
+			t.Fatalf("expansion not deterministic: %d/%d/%d then %d/%d/%d",
+				len(points), skipped, deduped, len(points2), skipped2, deduped2)
+		}
+		for i := range points {
+			if points[i].Key != points2[i].Key {
+				t.Fatalf("point %d key changed between expansions", i)
+			}
+		}
+	})
+}

@@ -119,6 +119,14 @@ type Server struct {
 	runEvents atomic.Uint64
 	runWallNs atomic.Int64
 
+	// Estimate-mode counters. Estimates never move the run counters —
+	// the analytic path consumes no scheduler slot by construction, and
+	// the estimate smoke asserts runs_total stays flat under -estimate.
+	estimates      atomic.Int64
+	estimateHits   atomic.Int64
+	estimateFailed atomic.Int64
+	estimateLatNs  atomic.Int64
+
 	// runDurEWMA is an exponentially weighted moving average of recent run
 	// durations (real time, in ns), feeding the Retry-After estimate on
 	// 429s. Zero until the first run completes; retryAfterSec seeds a
@@ -310,10 +318,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), status)
 		return
 	}
+	estimate, err := parseMode(r.URL.Query().Get("mode"))
+	if err != nil {
+		s.badReq.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	canon, err := Canonicalize(req)
 	if err != nil {
 		s.badReq.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if estimate {
+		s.handleEstimate(w, canon)
 		return
 	}
 	key := canon.Key()
@@ -536,6 +554,14 @@ type Metrics struct {
 	RunEventsTotal  uint64  `json:"run_events_total"`
 	RunWallSecTotal float64 `json:"run_wall_sec_total"`
 
+	// Estimate-mode counters: analytic requests served without touching
+	// the scheduler (RunsTotal is by construction unmoved by these).
+	EstimatesTotal          int64   `json:"estimates_total"`
+	EstimateCacheHits       int64   `json:"estimate_cache_hits"`
+	EstimateErrorTotal      int64   `json:"estimate_error_total"`
+	EstimateLatencySecTotal float64 `json:"estimate_latency_sec_total"`
+	EstimateLatencyMeanSec  float64 `json:"estimate_latency_mean_sec"`
+
 	// RunMeanSec is the moving average of recent run durations (real time)
 	// that sizes Retry-After on 429 responses; 0 until a run completes.
 	RunMeanSec float64 `json:"run_mean_sec"`
@@ -591,6 +617,14 @@ func (s *Server) MetricsSnapshot() Metrics {
 		RunEventsTotal:  s.runEvents.Load(),
 		RunWallSecTotal: time.Duration(s.runWallNs.Load()).Seconds(),
 		RunMeanSec:      time.Duration(s.runDurEWMA.Load()).Seconds(),
+
+		EstimatesTotal:          s.estimates.Load(),
+		EstimateCacheHits:       s.estimateHits.Load(),
+		EstimateErrorTotal:      s.estimateFailed.Load(),
+		EstimateLatencySecTotal: time.Duration(s.estimateLatNs.Load()).Seconds(),
+	}
+	if m.EstimatesTotal > 0 {
+		m.EstimateLatencyMeanSec = m.EstimateLatencySecTotal / float64(m.EstimatesTotal)
 	}
 	s.errClasses.mu.Lock()
 	if len(s.errClasses.m) > 0 {

@@ -271,14 +271,15 @@ type SweepSummary struct {
 }
 
 // decodeSweep reads a sweep spec from JSON body (POST) or query parameters
-// (GET), plus the per-point ?timeout_sec= override and the stream format.
-func decodeSweep(r *http.Request) (spec SweepSpec, timeout time.Duration, sse bool, err error) {
+// (GET), plus the per-point ?timeout_sec= override, the stream format and
+// the ?mode= selector (exact simulation vs analytic estimate).
+func decodeSweep(r *http.Request) (spec SweepSpec, timeout time.Duration, sse, estimate bool, err error) {
 	switch r.Method {
 	case http.MethodPost:
 		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&spec); err != nil {
-			return SweepSpec{}, 0, false, fmt.Errorf("decoding sweep body: %w", err)
+			return SweepSpec{}, 0, false, false, fmt.Errorf("decoding sweep body: %w", err)
 		}
 	case http.MethodGet:
 		q := r.URL.Query()
@@ -288,20 +289,24 @@ func decodeSweep(r *http.Request) (spec SweepSpec, timeout time.Duration, sse bo
 			CachedPct: q.Get("cached_pct"), Class: q.Get("class"), Faults: q.Get("faults"),
 		}
 	default:
-		return SweepSpec{}, 0, false, fmt.Errorf("method %s not allowed", r.Method)
+		return SweepSpec{}, 0, false, false, fmt.Errorf("method %s not allowed", r.Method)
 	}
 	timeout, err = parseTimeoutSec(r.URL.Query().Get("timeout_sec"))
 	if err != nil {
-		return SweepSpec{}, 0, false, err
+		return SweepSpec{}, 0, false, false, err
 	}
 	switch f := r.URL.Query().Get("format"); f {
 	case "", "ndjson":
 	case "sse":
 		sse = true
 	default:
-		return SweepSpec{}, 0, false, fmt.Errorf("parameter format: %q (ndjson|sse)", f)
+		return SweepSpec{}, 0, false, false, fmt.Errorf("parameter format: %q (ndjson|sse)", f)
 	}
-	return spec, timeout, sse, nil
+	estimate, err = parseMode(r.URL.Query().Get("mode"))
+	if err != nil {
+		return SweepSpec{}, 0, false, false, err
+	}
+	return spec, timeout, sse, estimate, nil
 }
 
 // handleSweep is the batch endpoint: expand the grid server-side, dedupe
@@ -315,7 +320,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "server draining", http.StatusServiceUnavailable)
 		return
 	}
-	spec, timeout, sse, err := decodeSweep(r)
+	spec, timeout, sse, estimate, err := decodeSweep(r)
 	if err != nil {
 		s.badReq.Add(1)
 		status := http.StatusBadRequest
@@ -384,6 +389,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	if estimate {
+		// Estimate fast path: every point is a closed-form evaluation, so
+		// the whole grid is answered inline — no batch lane, no scheduler
+		// slots, runs_total unmoved. Fault-plan points are outside the
+		// analytic domain and stream as per-point errors.
+		s.sweepEstimate(points, skipped, deduped, emit)
+		return
+	}
+
 	ctx := r.Context()
 	var okCount, failed, canceled, hits atomic.Int64
 	var wg sync.WaitGroup
@@ -418,6 +432,39 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Done: true, Points: len(points), OK: int(okCount.Load()),
 		Failed: int(failed.Load()), Canceled: int(canceled.Load()),
 		CacheHits: int(hits.Load()), Deduped: deduped, Skipped: skipped,
+	})
+}
+
+// sweepEstimate streams the analytic answer for every grid point, in
+// expansion order. Each line's key is the estimate-mode content address, so
+// the streamed bodies are the same bytes /run?mode=estimate would serve.
+func (s *Server) sweepEstimate(points []SweepPoint, skipped, deduped int, emit func(any)) {
+	start := time.Now()
+	s.estimates.Add(int64(len(points)))
+	var okCount, failed, hits int
+	for _, p := range points {
+		body, source, key, err := s.estimateBody(p.Req)
+		if err != nil {
+			failed++
+			s.sweepFailedTotal.Add(1)
+			s.estimateFailed.Add(1)
+			class := core.ErrorClass(err)
+			s.countErrClass(class)
+			emit(SweepLine{Point: p.Index, Key: key, Error: err.Error(), Class: class})
+			continue
+		}
+		okCount++
+		if source == "hit" {
+			hits++
+			s.sweepCachedTotal.Add(1)
+			s.estimateHits.Add(1)
+		}
+		emit(SweepLine{Point: p.Index, Key: key, Cache: source, Body: string(body)})
+	}
+	s.estimateLatNs.Add(time.Since(start).Nanoseconds())
+	emit(SweepSummary{
+		Done: true, Points: len(points), OK: okCount,
+		Failed: failed, CacheHits: hits, Deduped: deduped, Skipped: skipped,
 	})
 }
 

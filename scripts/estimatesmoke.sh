@@ -1,0 +1,98 @@
+#!/bin/sh
+# estimatesmoke.sh — end-to-end smoke of the estimate (analytic roofline)
+# serving path.
+#
+# Usage:
+#   scripts/estimatesmoke.sh
+#
+# Builds pariod and pariobench, starts the daemon on an ephemeral port, and
+# walks the estimate contract:
+#   1. /run?mode=estimate answers 200 cold (miss) and byte-identical on the
+#      rerun (hit) without ever moving runs_total
+#   2. the same request in exact mode is still a cold miss — estimate and
+#      exact cache keys are disjoint, so neither mode can alias the other
+#   3. a fault-plan request in estimate mode answers a structured 422 with
+#      the estimate_unsupported taxonomy class and is never cached
+#   4. pariobench -estimate holds the contract at load: N estimates,
+#      runs_total unmoved, estimates_total == N, p99 latency under 1ms
+#   5. /sweep?mode=estimate answers the whole grid analytically, and the
+#      estimate metrics counters are live
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "estimatesmoke: building..."
+go build -o "$tmp/pariod" ./cmd/pariod
+go build -o "$tmp/pariobench" ./cmd/pariobench
+
+"$tmp/pariod" -addr 127.0.0.1:0 -workers 4 >"$tmp/pariod.log" 2>&1 &
+daemon_pid=$!
+
+base=""
+for _ in $(seq 1 100); do
+    base=$(sed -n 's,^pariod: listening on \(http://[^ ]*\)$,\1,p' "$tmp/pariod.log")
+    [ -n "$base" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { cat "$tmp/pariod.log"; echo "estimatesmoke: FAIL: daemon died on startup"; exit 1; }
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "estimatesmoke: FAIL: daemon never bound"; exit 1; }
+echo "estimatesmoke: daemon up at $base"
+
+metric() {
+    curl -fsS "$base/metrics" | sed -n "s/.*\"$1\": *\([0-9]*\).*/\1/p"
+}
+
+# 1. Cold estimate is a miss, the rerun a byte-identical hit, and no
+# simulation ever runs.
+curl -fsS -D "$tmp/h1" -o "$tmp/e1" "$base/run?app=scf11&input=SMALL&mode=estimate"
+grep -qi '^x-pario-cache: miss' "$tmp/h1" || { echo "estimatesmoke: FAIL: cold estimate not a miss"; cat "$tmp/h1"; exit 1; }
+grep -q '"bottleneck"' "$tmp/e1" || { echo "estimatesmoke: FAIL: estimate body has no bottleneck"; cat "$tmp/e1"; exit 1; }
+curl -fsS -D "$tmp/h2" -o "$tmp/e2" "$base/run?app=scf11&input=SMALL&mode=estimate"
+grep -qi '^x-pario-cache: hit' "$tmp/h2" || { echo "estimatesmoke: FAIL: repeat estimate not a hit"; cat "$tmp/h2"; exit 1; }
+cmp -s "$tmp/e1" "$tmp/e2" || { echo "estimatesmoke: FAIL: estimate bodies differ between runs"; exit 1; }
+[ "$(metric runs_total)" = 0 ] || { echo "estimatesmoke: FAIL: estimates moved runs_total"; exit 1; }
+echo "estimatesmoke: estimate cold/cached byte-identical, runs_total still 0"
+
+# 2. Mode keys are disjoint: the exact run of the same request is cold.
+curl -fsS -D "$tmp/h3" -o /dev/null "$base/run?app=scf11&input=SMALL"
+grep -qi '^x-pario-cache: miss' "$tmp/h3" || { echo "estimatesmoke: FAIL: exact run after estimate was not a cold miss"; cat "$tmp/h3"; exit 1; }
+[ "$(metric runs_total)" = 1 ] || { echo "estimatesmoke: FAIL: exact run did not simulate exactly once"; exit 1; }
+echo "estimatesmoke: estimate and exact cache keys disjoint (exact run simulated)"
+
+# 3. Fault plans are outside the analytic domain: structured 422, not cached.
+entries_before=$(metric cache_entries)
+status=$(curl -sS -o "$tmp/e422" -w '%{http_code}' "$base/run?app=ast&mode=estimate&faults=disk%3A0%3Adegrade%3D8%40t%3D0.5s..2s%3Bretry%3D4")
+[ "$status" = 422 ] || { echo "estimatesmoke: FAIL: faulted estimate answered $status, want 422"; cat "$tmp/e422"; exit 1; }
+grep -q '"class":"estimate_unsupported"' "$tmp/e422" || { echo "estimatesmoke: FAIL: 422 body lacks estimate_unsupported class"; cat "$tmp/e422"; exit 1; }
+[ "$(metric cache_entries)" = "$entries_before" ] || { echo "estimatesmoke: FAIL: refused estimate polluted the cache"; exit 1; }
+echo "estimatesmoke: fault-plan estimate refused with 422 estimate_unsupported, cache clean"
+
+# 4. The bench estimate drive asserts the contract at load (p99 < 1ms).
+"$tmp/pariobench" -addr "${base#http://}" -estimate -n 300
+
+# 5. A whole sweep answered analytically; counters live.
+curl -fsS -D "$tmp/h4" -o "$tmp/s1" "$base/sweep?app=fft&procs=1,2,4&opt=both&mode=estimate"
+nlines=$(wc -l <"$tmp/s1")
+[ "$nlines" = 7 ] || { echo "estimatesmoke: FAIL: estimate sweep streamed $nlines lines, want 6 points + summary"; cat "$tmp/s1"; exit 1; }
+grep -q '"done":true' "$tmp/s1" || { echo "estimatesmoke: FAIL: no done summary"; exit 1; }
+[ "$(metric runs_total)" = 1 ] || { echo "estimatesmoke: FAIL: estimate sweep simulated"; exit 1; }
+est_total=$(metric estimates_total)
+[ "$est_total" -ge 308 ] || { echo "estimatesmoke: FAIL: estimates_total=$est_total, want >= 308"; exit 1; }
+echo "estimatesmoke: estimate sweep answered analytically, estimates_total=$est_total"
+
+kill -TERM "$daemon_pid"
+rc=0
+wait "$daemon_pid" || rc=$?
+daemon_pid=""
+[ "$rc" = 0 ] || { echo "estimatesmoke: FAIL: daemon exited $rc"; cat "$tmp/pariod.log"; exit 1; }
+grep -q 'pariod: drained' "$tmp/pariod.log" || { echo "estimatesmoke: FAIL: no drain confirmation"; cat "$tmp/pariod.log"; exit 1; }
+echo "estimatesmoke: graceful drain confirmed"
+echo "estimatesmoke: OK"
