@@ -10,6 +10,8 @@
 //	pariod -addr 127.0.0.1:0       # ephemeral port (printed on startup)
 //	pariod -workers 8 -queue 128 -cache 1024 -timeout 30s
 //	pariod -batch-queue 512 -max-sweep-points 8192 -max-sweeps 2
+//	pariod -max-parallel 8                  # intra-run event lanes for interactive runs
+//	pariod -pprof-addr 127.0.0.1:6060      # net/http/pprof on its own listener
 //
 // Endpoints:
 //
@@ -36,6 +38,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -43,6 +48,25 @@ import (
 
 	"pario/internal/serve"
 )
+
+// startPprof serves the net/http/pprof handlers on their own listener and
+// mux — never the service mux, so profiling exposure is an explicit,
+// separately addressable choice (loopback by default in production). The
+// bound address is returned for the startup log.
+func startPprof(addr string) (net.Addr, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln.Addr(), nil
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, nil, nil))
@@ -64,10 +88,21 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		timeout    = fs.Duration("timeout", 60*time.Second, "per-request ceiling (requests may ask for less via ?timeout_sec=)")
 		maxPoints  = fs.Int("max-sweep-points", 4096, "largest expanded grid one /sweep may name")
 		maxSweeps  = fs.Int("max-sweeps", 4, "concurrently streaming sweeps; excess sweeps answer 429")
+		maxPar     = fs.Int("max-parallel", 1, "widest intra-run event parallelism one run may use (1 = sequential)")
+		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 		drain      = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *pprofAddr != "" {
+		paddr, err := startPprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "pariod: pprof: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "pariod: pprof on http://%s/debug/pprof/\n", paddr)
 	}
 
 	srv := serve.New(serve.Options{
@@ -78,6 +113,7 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		Timeout:         *timeout,
 		MaxSweepPoints:  *maxPoints,
 		MaxSweeps:       *maxSweeps,
+		MaxParallel:     *maxPar,
 	})
 	bound, err := srv.Start(*addr)
 	if err != nil {

@@ -111,6 +111,78 @@ func TestDaemonLifecycle(t *testing.T) {
 	}
 }
 
+// TestPprofHook smokes the -pprof-addr flag: the profiling mux comes up on
+// its own listener, the index and a fast profile answer 200, and the
+// service mux does NOT expose /debug/pprof/ — profiling stays an explicit,
+// separately addressable opt-in.
+func TestPprofHook(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	ready := make(chan string, 1)
+	stop := make(chan struct{})
+	exited := make(chan int, 1)
+	go func() {
+		exited <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1",
+			"-pprof-addr", "127.0.0.1:0", "-max-parallel", "4"},
+			&stdout, &stderr, ready, stop)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not come up")
+	}
+
+	// The startup log names the pprof address.
+	var paddr string
+	deadline := time.Now().Add(5 * time.Second)
+	for paddr == "" && time.Now().Before(deadline) {
+		for _, line := range strings.Split(stdout.String(), "\n") {
+			if strings.HasPrefix(line, "pariod: pprof on http://") {
+				paddr = strings.TrimSuffix(strings.TrimPrefix(line, "pariod: pprof on http://"), "/debug/pprof/")
+			}
+		}
+		if paddr == "" {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if paddr == "" {
+		t.Fatalf("no pprof address in startup log: %s", stdout.String())
+	}
+
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		resp, err := http.Get("http://" + paddr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("pprof %s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	// The service listener must not serve profiling handlers.
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("service mux exposes /debug/pprof/")
+	}
+
+	close(stop)
+	select {
+	case code := <-exited:
+		if code != 0 {
+			t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+}
+
 // TestDaemonBadFlags pins the usage exit code.
 func TestDaemonBadFlags(t *testing.T) {
 	var stdout, stderr bytes.Buffer

@@ -63,6 +63,9 @@ type Config struct {
 	// application becomes read-intensive when restarting from
 	// check-pointed data).
 	Restart bool
+	// Parallel, when non-zero, requests intra-run event parallelism
+	// (see core.System.SetParallel); zero keeps the process default.
+	Parallel int
 }
 
 func (c *Config) defaults() error {
@@ -102,6 +105,9 @@ func Run(cfg Config) (core.Report, error) {
 	}
 	if err := sys.InstallFaults(cfg.Faults); err != nil {
 		return core.Report{}, err
+	}
+	if cfg.Parallel != 0 {
+		sys.SetParallel(cfg.Parallel)
 	}
 	layout := pfs.Layout{StripeUnit: cfg.Machine.DefaultStripeUnit, StripeFactor: sys.FS.NumIONodes()}
 	snapBytes := int64(cfg.Arrays) * cfg.N * cfg.N * elemBytes

@@ -76,6 +76,8 @@ type Disk struct {
 	// requests error at service time (an injected outage).
 	mult   float64
 	failed bool
+	// ops is the free list of pooled AccessAsync continuations.
+	ops []*op
 	// mFailed counts requests refused while failed. It is registered
 	// lazily on the first fault call so that fault-free runs carry no
 	// fault metrics (the golden outputs stay byte-identical).

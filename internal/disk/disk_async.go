@@ -1,0 +1,135 @@
+package disk
+
+import (
+	"fmt"
+
+	"pario/internal/sim"
+)
+
+// op is the pooled continuation state of one AccessAsync request. The two
+// callbacks are bound once at allocation (method values), so steady-state
+// asynchronous access allocates nothing: ops cycle through the per-disk free
+// list and the event queue stores plain func values.
+type op struct {
+	d         *Disk
+	off, size int64
+	write     bool
+	errp      *error
+	k         sim.Step
+	grantFn   func()
+	doneFn    func()
+}
+
+func (d *Disk) getOp() *op {
+	if n := len(d.ops); n > 0 {
+		o := d.ops[n-1]
+		d.ops = d.ops[:n-1]
+		return o
+	}
+	o := &op{d: d}
+	o.grantFn = o.grant
+	o.doneFn = o.done
+	return o
+}
+
+func (d *Disk) putOp(o *op) {
+	o.errp = nil
+	o.k = sim.Step{}
+	d.ops = append(d.ops, o)
+}
+
+// AccessAsync performs one request without a blocking process: queueing and
+// service run as engine events, and k runs when service completes. It is
+// event-for-event identical to Access issued by a process — the grant and the
+// end-of-service events land at the same (time, sequence) positions — which
+// is what keeps simulation outputs byte-identical across the two paths.
+//
+// On failure (an injected outage) *errp is set before k runs; otherwise *errp
+// is left untouched, so the caller must clear it beforehand.
+//
+// The continuation contract differs by kind:
+//   - k.Fn: the service slot is released first, then k.Fn runs inline within
+//     the end-of-service event, exactly where a blocking caller would resume.
+//   - k.P: the end-of-service event is the wake of p itself (the operation's
+//     terminal event). The slot is NOT released — the woken process must call
+//     FinishAccess, mirroring a blocking caller that releases after its final
+//     Delay. On failure the slot was already released; the woken process must
+//     check *errp and skip FinishAccess then.
+func (d *Disk) AccessAsync(off, size int64, write bool, errp *error, k sim.Step) {
+	if off < 0 || size < 0 {
+		panic(fmt.Sprintf("disk: bad request off=%d size=%d", off, size))
+	}
+	o := d.getOp()
+	o.off, o.size, o.write, o.errp, o.k = off, size, write, errp, k
+	if d.res.AcquireFn(o.grantFn) {
+		o.grant()
+	}
+}
+
+// grant runs when the request reaches the head of the queue — inline when the
+// disk was idle, as a grant event otherwise — matching the instant a blocking
+// Acquire returns.
+func (o *op) grant() {
+	d := o.d
+	if d.failed {
+		d.res.Release()
+		if d.mFailed == nil {
+			d.mFailed = d.eng.Metrics().Counter("disk.failed_requests")
+		}
+		d.mFailed.Inc()
+		*o.errp = fmt.Errorf("%s: %w", d.name, ErrFailed)
+		k := o.k
+		d.putOp(o)
+		if k.Fn != nil {
+			k.Fn() // inline, like a blocking Access returning the error
+		} else {
+			d.eng.ScheduleStep(0, k)
+		}
+		return
+	}
+	svc := d.par.RequestOverhead + float64(o.size)*d.par.ByteTime
+	if s := d.seekTime(o.off); s > 0 {
+		svc += s
+		d.st.Seeks++
+		d.mSeeks.Inc()
+	}
+	if d.mult != 1 {
+		svc *= d.mult
+	}
+	d.head = o.off + o.size
+	if o.write {
+		d.st.Writes++
+		d.st.BytesWrite += o.size
+		d.mBytesWrite.Add(o.size)
+	} else {
+		d.st.Reads++
+		d.st.BytesRead += o.size
+		d.mBytesRead.Add(o.size)
+	}
+	d.st.BusySec += svc
+	d.mSvcTime.Observe(svc * 1e6)
+	if o.k.P != nil {
+		// Terminal: the end-of-service event wakes the issuing process, which
+		// releases via FinishAccess after it resumes.
+		k := o.k
+		d.putOp(o)
+		d.eng.ScheduleStep(svc, k)
+		return
+	}
+	d.eng.ScheduleStep(svc, sim.Step{Fn: o.doneFn})
+}
+
+// done runs at end of service for an Fn continuation: release the slot, then
+// continue the caller inline — the exact shape of a blocking caller resuming
+// from its Delay and calling Release before returning.
+func (o *op) done() {
+	d := o.d
+	d.res.Release()
+	k := o.k
+	d.putOp(o)
+	k.Fn()
+}
+
+// FinishAccess releases the service slot of a terminal (k.P) AccessAsync.
+// Call it from the woken process, once, unless *errp was set.
+func (d *Disk) FinishAccess() { d.res.Release() }

@@ -1,0 +1,80 @@
+package exp
+
+// The determinism hammer for intra-run parallelism: requesting event-
+// execution lanes must never move a byte of any golden artifact, whatever
+// the requested width or GOMAXPROCS. This is the acceptance gate of the
+// parallel kernel — byte identity, not statistical tolerance — and it runs
+// the degraded artifact too, so faulted runs are covered by the same pin.
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"pario/internal/core"
+	"pario/internal/machine"
+)
+
+// TestGoldenArtifactsInvariantUnderParallelRequest re-runs every registered
+// artifact with -sim-parallel ∈ {2, 8} × GOMAXPROCS ∈ {1, NumCPU} and
+// compares against the committed golden bytes.
+func TestGoldenArtifactsInvariantUnderParallelRequest(t *testing.T) {
+	if *update {
+		t.Skip("golden files being rewritten")
+	}
+	maxProcs := []int{1, runtime.NumCPU()}
+	if maxProcs[1] == 1 {
+		maxProcs = maxProcs[:1]
+	}
+	for _, par := range []int{2, 8} {
+		for _, mp := range maxProcs {
+			prev := runtime.GOMAXPROCS(mp)
+			core.SetDefaultParallel(par)
+			for _, e := range All() {
+				want, err := os.ReadFile(filepath.Join("testdata", "golden", e.ID+".txt"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := runArtifact(t, e, 1)
+				if string(want) != got {
+					t.Errorf("parallel=%d GOMAXPROCS=%d: %s drifted; %s",
+						par, mp, e.ID, firstDiff(string(want), got))
+				}
+			}
+			core.SetDefaultParallel(1)
+			runtime.GOMAXPROCS(prev)
+		}
+	}
+}
+
+// TestDegradedRunNeverSilentlyParallelizes pins the fallback bookkeeping on
+// the degraded artifact's own workload: a fault plan forces the run
+// sequential and the report says so, while a healthy run that still cannot
+// partition reports the degenerate lookahead instead.
+func TestDegradedRunNeverSilentlyParallelizes(t *testing.T) {
+	core.SetDefaultParallel(8)
+	defer core.SetDefaultParallel(1)
+	m, err := machine.ParagonLarge(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulted, err := runDegraded(m, 2, 2, 64<<10, "disk:degrade=2@t=0")
+	if err != nil || faulted.err != nil {
+		t.Fatalf("faulted run: %v / %v", err, faulted.err)
+	}
+	if faulted.effPar != 1 || faulted.parFallback != core.FallbackFaultPlan {
+		t.Fatalf("faulted run parallelism = %d/%q, want 1/%q",
+			faulted.effPar, faulted.parFallback, core.FallbackFaultPlan)
+	}
+
+	healthy, err := runDegraded(m, 2, 2, 64<<10, "")
+	if err != nil || healthy.err != nil {
+		t.Fatalf("healthy run: %v / %v", err, healthy.err)
+	}
+	if healthy.effPar != 1 || healthy.parFallback != core.FallbackDegenerateLookahead {
+		t.Fatalf("healthy run parallelism = %d/%q, want 1/%q",
+			healthy.effPar, healthy.parFallback, core.FallbackDegenerateLookahead)
+	}
+}

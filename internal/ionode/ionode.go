@@ -64,6 +64,10 @@ type Node struct {
 
 	requests int64
 
+	// Free lists of pooled asynchronous-path continuations.
+	iops   []*iop
+	drains []*drainOp
+
 	// crashed makes Access error immediately with ErrCrashed — an injected
 	// node failure. mDropped counts those refusals; it is registered lazily
 	// on the first crash so fault-free runs carry no fault metrics.

@@ -120,6 +120,44 @@ func (n *Network) Send(p *sim.Proc, src, dst int, size int64) {
 	nic.Use(p, xfer)
 }
 
+// AccountMsg records one message of size bytes in the traffic statistics —
+// the bookkeeping half of Send, for event-driven senders that drive the
+// delays and NIC occupancy themselves (via SendCosts and NIC). It must be
+// called once per message, at send time, like Send does.
+func (n *Network) AccountMsg(size int64) {
+	if size < 0 {
+		panic("network: negative message size")
+	}
+	n.msgs++
+	n.bytesSent += size
+	n.mMsgs.Inc()
+	n.mBytes.Add(size)
+}
+
+// SendCosts returns the two timed portions of a send as Send would pay them:
+// setup (latency + routing, uncontended) and xfer (the bandwidth portion,
+// which must hold dst's NIC). For a node-local message setup is zero and xfer
+// is the memory-copy time, which touches no NIC. The current slowdown factor
+// is applied, so callers must sample the costs at send time, like Send does.
+func (n *Network) SendCosts(src, dst int, size int64) (setup, xfer float64) {
+	if src == dst {
+		return 0, float64(size) * n.par.MemCopyByteTime
+	}
+	hops := n.topo.Hops(src, dst)
+	setup = n.par.Latency + float64(hops)*n.par.HopTime
+	xfer = float64(size) * n.par.ByteTime
+	if n.slow != 1 {
+		setup *= n.slow
+		xfer *= n.slow
+	}
+	return setup, xfer
+}
+
+// NoteStall records one NIC-contention stall, for event-driven senders that
+// observe a busy destination NIC before queueing on it (the check Send does
+// inline).
+func (n *Network) NoteStall() { n.mStalls.Inc() }
+
 // SetSlowdown sets the absolute wire-cost multiplier — fault injection for
 // a congested or flapping interconnect. 1 restores full speed. Transfers
 // already in progress are unaffected; the factor applies from the next

@@ -150,6 +150,41 @@ type FS struct {
 	mChunks    *stats.Counter
 	mReqBytes  *stats.Histogram // per-chunk (stripe-unit-bounded) request size
 	mXferTime  *stats.Histogram // per-Transfer wall time in simulated us
+
+	// asyncOK gates the event-driven transfer path (see pfs_async.go): the
+	// node parameters must make every chunk's terminal event statically
+	// known — a write-behind cache with a zero-cost copy would complete a
+	// cached write with no timed event to hang the issuer's wake on.
+	asyncOK bool
+	// Free lists of pooled asynchronous-path continuations and per-transfer
+	// scratch states.
+	chunkOps []*chunkOp
+	ctrs     []*xferCtr
+	xfers    []*xferState
+}
+
+// xferState is the pooled per-Transfer scratch: the chunk list from range
+// mapping and its per-node grouping. Each in-flight transfer owns one state
+// from Transfer entry to return, so concurrent transfers never share backing
+// arrays; recycling them removes the per-call slice and map allocations from
+// the hot path.
+type xferState struct {
+	chunks []Chunk
+	order  []int
+	lists  [][]Chunk
+}
+
+func (fs *FS) getXfer() *xferState {
+	if n := len(fs.xfers); n > 0 {
+		st := fs.xfers[n-1]
+		fs.xfers = fs.xfers[:n-1]
+		return st
+	}
+	return &xferState{}
+}
+
+func (fs *FS) putXfer(st *xferState) {
+	fs.xfers = append(fs.xfers, st)
 }
 
 // New builds a file system over the I/O partition of the network's
@@ -175,6 +210,7 @@ func New(eng *sim.Engine, net *network.Network, nodePar ionode.Params) (*FS, err
 		fs.nodeGlobal = append(fs.nodeGlobal, topo.IONode(i))
 	}
 	fs.nextFree = make([]int64, len(fs.nodes))
+	fs.asyncOK = nodePar.CacheBytes == 0 || nodePar.CacheCopyByteTime > 0
 	return fs, nil
 }
 
@@ -340,12 +376,18 @@ func (f *File) Size() int64 { return f.size }
 
 // MapRange splits [off, off+size) into per-I/O-node chunks in file order.
 func (f *File) MapRange(off, size int64) []Chunk {
+	return f.mapRange(nil, off, size)
+}
+
+// mapRange appends the chunks of [off, off+size) to dst — the scratch-reusing
+// form behind MapRange and Transfer.
+func (f *File) mapRange(dst []Chunk, off, size int64) []Chunk {
 	if off < 0 || size < 0 {
 		panic(fmt.Sprintf("pfs: bad range off=%d size=%d", off, size))
 	}
 	su := f.layout.StripeUnit
 	factor := int64(f.layout.StripeFactor)
-	var chunks []Chunk
+	chunks := dst
 	for size > 0 {
 		stripe := off / su
 		within := off % su
@@ -383,35 +425,63 @@ func (f *File) Transfer(p *sim.Proc, clientNode int, off, size int64, write bool
 	fs := f.fs
 	fs.mTransfers.Inc()
 	defer func() { fs.mXferTime.Observe((p.Now() - start) * 1e6) }()
-	chunks := f.MapRange(off, size)
+	st := fs.getXfer()
+	chunks := f.mapRange(st.chunks[:0], off, size)
+	st.chunks = chunks
 	fs.mChunks.Add(int64(len(chunks)))
-	for _, c := range chunks {
-		fs.mReqBytes.Observe(float64(c.Len))
+	for i := range chunks {
+		fs.mReqBytes.Observe(float64(chunks[i].Len))
 	}
 	if write && off+size > f.size {
 		f.size = off + size
 	}
-	// Group chunks by I/O node, preserving order within a node.
-	byNode := make(map[int][]Chunk, f.layout.StripeFactor)
-	var order []int
-	for _, c := range chunks {
-		if _, ok := byNode[c.Node]; !ok {
-			order = append(order, c.Node)
+	// Group chunks by I/O node, preserving order within a node. Stripe
+	// factors are small, so a linear scan of the first-touch order beats a
+	// map — and the grouping reuses the pooled state's backing arrays.
+	order := st.order[:0]
+	for i := range chunks {
+		c := chunks[i]
+		pos := -1
+		for j, node := range order {
+			if node == c.Node {
+				pos = j
+				break
+			}
 		}
-		byNode[c.Node] = append(byNode[c.Node], c)
+		if pos == -1 {
+			pos = len(order)
+			order = append(order, c.Node)
+			if pos < len(st.lists) {
+				st.lists[pos] = st.lists[pos][:0]
+			} else {
+				st.lists = append(st.lists, nil)
+			}
+		}
+		st.lists[pos] = append(st.lists[pos], c)
+	}
+	st.order = order
+	if fs.resil == nil && fs.asyncOK {
+		// Healthy fast path: drive the chunks as engine events instead of
+		// blocked processes — byte-identical output, none of the goroutine
+		// handoffs (see pfs_async.go).
+		f.transferAsync(p, clientNode, st.lists, order, write)
+		fs.putXfer(st)
+		return
 	}
 	if len(order) == 1 {
-		f.serveNode(p, clientNode, byNode[order[0]], write)
+		f.serveNode(p, clientNode, st.lists[0], write)
+		fs.putXfer(st)
 		return
 	}
 	wg := sim.NewWaitGroup(p.Engine())
-	for _, node := range order {
-		list := byNode[node]
+	for i := range order {
+		list := st.lists[i]
 		wg.Go("pfs.xfer", func(c *sim.Proc) {
 			f.serveNode(c, clientNode, list, write)
 		})
 	}
 	wg.Wait(p)
+	fs.putXfer(st)
 }
 
 // serveNode performs an ordered chunk list against one I/O node. A chunk

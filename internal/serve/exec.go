@@ -19,6 +19,15 @@ import (
 // execution path shared by the daemon and cmd/iosim, so both produce the
 // same report for the same request.
 func Execute(ctx context.Context, req Request) (core.Report, error) {
+	return ExecuteParallel(ctx, req, 0)
+}
+
+// ExecuteParallel is Execute with an intra-run event-parallelism request
+// (0 keeps the process default). Parallelism is execution policy, not
+// request identity — the kernel's determinism contract makes the report
+// byte-identical for every value — which is why it is deliberately absent
+// from Request and the cache key.
+func ExecuteParallel(ctx context.Context, req Request, parallel int) (core.Report, error) {
 	var pl *fault.Plan
 	if req.Faults != "" {
 		var err error
@@ -46,6 +55,7 @@ func Execute(ctx context.Context, req Request) (core.Report, error) {
 		}
 		return scf.Run11(scf.Config11{
 			Ctx: ctx, Faults: pl, Machine: m, Input: scfInput(req.Input), Procs: req.Procs, Version: v,
+			Parallel: parallel,
 		})
 	case "scf30":
 		m, err := machine.ParagonLarge(req.IONodes)
@@ -54,14 +64,14 @@ func Execute(ctx context.Context, req Request) (core.Report, error) {
 		}
 		return scf.Run30(scf.Config30{
 			Ctx: ctx, Faults: pl, Machine: m, Input: scfInput(req.Input), Procs: req.Procs,
-			CachedPct: req.CachedPct, Balance: true,
+			CachedPct: req.CachedPct, Balance: true, Parallel: parallel,
 		})
 	case "fft":
 		m, err := machine.ParagonSmall(req.IONodes)
 		if err != nil {
 			return core.Report{}, err
 		}
-		return fft.Run(fft.Config{Ctx: ctx, Faults: pl, Machine: m, Procs: req.Procs, OptimizedLayout: req.Opt})
+		return fft.Run(fft.Config{Ctx: ctx, Faults: pl, Machine: m, Procs: req.Procs, OptimizedLayout: req.Opt, Parallel: parallel})
 	case "btio":
 		m, err := machine.SP2()
 		if err != nil {
@@ -71,13 +81,13 @@ func Execute(ctx context.Context, req Request) (core.Report, error) {
 		if req.Class == "B" {
 			cls = btio.ClassB
 		}
-		return btio.Run(btio.Config{Ctx: ctx, Faults: pl, Machine: m, Procs: req.Procs, Class: cls, Collective: req.Opt})
+		return btio.Run(btio.Config{Ctx: ctx, Faults: pl, Machine: m, Procs: req.Procs, Class: cls, Collective: req.Opt, Parallel: parallel})
 	case "ast":
 		m, err := machine.ParagonLarge(req.IONodes)
 		if err != nil {
 			return core.Report{}, err
 		}
-		return ast.Run(ast.Config{Ctx: ctx, Faults: pl, Machine: m, Procs: req.Procs, Optimized: req.Opt})
+		return ast.Run(ast.Config{Ctx: ctx, Faults: pl, Machine: m, Procs: req.Procs, Optimized: req.Opt, Parallel: parallel})
 	default:
 		return core.Report{}, fmt.Errorf("serve: unknown app %q", req.App)
 	}

@@ -1,0 +1,93 @@
+package serve
+
+// Per-run parallelism policy tests: wide for interactive runs on an idle
+// service, narrow under load and on the batch lane, cache key untouched by
+// any of it, and the sim_parallel_* counters visible in /metrics.
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"pario/internal/core"
+)
+
+func TestParallelForPolicy(t *testing.T) {
+	s := New(Options{Workers: 2, MaxParallel: 8})
+	defer s.sched.Close()
+	if got := s.parallelFor(LaneInteractive); got != 8 {
+		t.Fatalf("idle interactive grant = %d, want 8", got)
+	}
+	if got := s.parallelFor(LaneBatch); got != 1 {
+		t.Fatalf("batch grant = %d, want 1", got)
+	}
+	s2 := New(Options{Workers: 2})
+	defer s2.sched.Close()
+	if got := s2.parallelFor(LaneInteractive); got != 1 {
+		t.Fatalf("disabled grant = %d, want 1", got)
+	}
+}
+
+// TestParallelGrantsAndMetrics drives real runs through the HTTP surface
+// with MaxParallel on: the interactive run is granted the full width, the
+// sweep point stays sequential, the cache key (and body) match the
+// sequential server's byte for byte, and the counters land in /metrics.
+func TestParallelGrantsAndMetrics(t *testing.T) {
+	var (
+		mu     sync.Mutex
+		grants []int
+	)
+	s := New(Options{Workers: 2, MaxParallel: 8})
+	inner := s.run
+	s.run = func(ctx context.Context, req Request, parallel int) (core.Report, error) {
+		mu.Lock()
+		grants = append(grants, parallel)
+		mu.Unlock()
+		return inner(ctx, req, parallel)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.sched.Close()
+
+	const reqBody = `{"app":"scf11","procs":4,"input":"SMALL"}`
+	resp, wideBody := postRun(t, ts, reqBody)
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d: %s", resp.StatusCode, wideBody)
+	}
+	wideKey := resp.Header.Get("X-Pario-Key")
+
+	mu.Lock()
+	got := append([]int(nil), grants...)
+	mu.Unlock()
+	if len(got) != 1 || got[0] != 8 {
+		t.Fatalf("interactive grants = %v, want [8]", got)
+	}
+
+	m := metricsOf(t, ts)
+	if m.SimParallelMax != 8 || m.SimParallelWideRunsTotal != 1 {
+		t.Fatalf("metrics max=%d wide=%d, want 8/1", m.SimParallelMax, m.SimParallelWideRunsTotal)
+	}
+	if m.SimParallelEffLanesTotal != 1 {
+		t.Fatalf("effective lanes total = %d, want 1 (core fallback)", m.SimParallelEffLanesTotal)
+	}
+	// The paper's client-server apps cannot partition, so the wide grant
+	// must come back with the honest fallback reason.
+	if m.SimParallelFallbacks[core.FallbackDegenerateLookahead] != 1 {
+		t.Fatalf("fallbacks = %v, want one %q", m.SimParallelFallbacks, core.FallbackDegenerateLookahead)
+	}
+
+	// Same request on a sequential server: identical key and identical
+	// bytes — parallelism is no part of request identity.
+	seq := New(Options{Workers: 2})
+	ts2 := httptest.NewServer(seq.Handler())
+	defer ts2.Close()
+	defer seq.sched.Close()
+	resp2, seqBody := postRun(t, ts2, reqBody)
+	if resp2.Header.Get("X-Pario-Key") != wideKey {
+		t.Fatalf("cache key differs with MaxParallel: %s vs %s", resp2.Header.Get("X-Pario-Key"), wideKey)
+	}
+	if string(seqBody) != string(wideBody) {
+		t.Fatal("body differs between parallel and sequential servers")
+	}
+}

@@ -43,6 +43,14 @@ type Options struct {
 	// MaxSweeps bounds concurrently streaming sweeps; excess sweeps are
 	// shed with 429 (default 4).
 	MaxSweeps int
+	// MaxParallel is the widest intra-run event parallelism (lanes) one
+	// run may request (default 1 = sequential). It is execution policy,
+	// never request identity: the kernel's determinism contract keeps
+	// bodies byte-identical at any width, so it is deliberately excluded
+	// from the cache key. Interactive runs get the full width only while
+	// the service is lightly loaded; batch (sweep) points always run
+	// sequentially — their throughput comes from cross-point workers.
+	MaxParallel int
 }
 
 func (o *Options) defaults() {
@@ -67,6 +75,9 @@ func (o *Options) defaults() {
 	if o.MaxSweeps <= 0 {
 		o.MaxSweeps = 4
 	}
+	if o.MaxParallel <= 0 {
+		o.MaxParallel = 1
+	}
 }
 
 // Server is the simulation-serving daemon core: HTTP handlers over the
@@ -80,9 +91,9 @@ type Server struct {
 	sched  *Scheduler
 	mux    *http.ServeMux
 
-	// run is the execution seam: Execute in production, replaceable in
-	// tests that need slow or failing runs.
-	run func(ctx context.Context, req Request) (core.Report, error)
+	// run is the execution seam: ExecuteParallel in production,
+	// replaceable in tests that need slow or failing runs.
+	run func(ctx context.Context, req Request, parallel int) (core.Report, error)
 
 	httpSrv  *http.Server
 	started  time.Time
@@ -118,6 +129,18 @@ type Server struct {
 	runs      atomic.Int64
 	runEvents atomic.Uint64
 	runWallNs atomic.Int64
+
+	// Intra-run parallelism counters: runs granted more than one lane,
+	// runs the load policy narrowed back to sequential (only counted
+	// while MaxParallel > 1), the summed effective lane width, and
+	// fallback reasons reported by the runs themselves.
+	parWideRuns     atomic.Int64
+	parNarrowedRuns atomic.Int64
+	parEffLanes     atomic.Int64
+	parFallbacks    struct {
+		mu sync.Mutex
+		m  map[string]int64
+	}
 
 	// Estimate-mode counters. Estimates never move the run counters —
 	// the analytic path consumes no scheduler slot by construction, and
@@ -163,7 +186,7 @@ func New(opts Options) *Server {
 		opts:    opts,
 		cache:   NewCache(opts.CacheEntries),
 		sched:   NewScheduler(opts.Workers, opts.QueueDepth, opts.BatchQueueDepth),
-		run:     Execute,
+		run:     ExecuteParallel,
 		started: time.Now(),
 	}
 	s.mux = http.NewServeMux()
@@ -207,14 +230,41 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return nil
 }
 
+// parallelFor decides how many event-execution lanes a run admitted on
+// lane ln may use right now: the configured width for an interactive run
+// on a lightly loaded service, sequential otherwise. Narrow under load —
+// when the committed backlog exceeds the worker pool — because cross-run
+// workers already saturate the machine and wide runs would only add
+// coordination overhead; batch points are always narrow for the same
+// reason.
+func (s *Server) parallelFor(ln Lane) int {
+	if s.opts.MaxParallel <= 1 || ln == LaneBatch {
+		return 1
+	}
+	backlog := int64(s.sched.QueueDepth(LaneInteractive)) + s.sched.InFlight(LaneInteractive) +
+		int64(s.sched.QueueDepth(LaneBatch)) + s.sched.InFlight(LaneBatch)
+	if backlog > int64(s.opts.Workers) {
+		return 1
+	}
+	return s.opts.MaxParallel
+}
+
 // runJob is the expensive path: simulate, encode, fill the cache. It runs
 // on a scheduler worker, as a one-point sweep through the experiment
 // runner, so run accounting (points, kernel events, wall time) follows the
-// same contract as the sweep harness.
-func (s *Server) runJob(ctx context.Context, req Request, key string) ([]byte, error) {
+// same contract as the sweep harness. ln names the admission lane, which
+// sets the run's parallelism grant.
+func (s *Server) runJob(ctx context.Context, req Request, key string, ln Lane) ([]byte, error) {
+	par := s.parallelFor(ln)
+	switch {
+	case par > 1:
+		s.parWideRuns.Add(1)
+	case s.opts.MaxParallel > 1 && ln == LaneInteractive:
+		s.parNarrowedRuns.Add(1)
+	}
 	start := time.Now()
 	reps, st, err := exp.Map([]Request{req}, 1, func(r Request) (core.Report, error) {
-		return s.run(ctx, r)
+		return s.run(ctx, r, par)
 	})
 	s.recordRunDur(time.Since(start))
 	s.runs.Add(int64(st.Points))
@@ -222,6 +272,15 @@ func (s *Server) runJob(ctx context.Context, req Request, key string) ([]byte, e
 	s.runWallNs.Add(int64(st.WallSum))
 	if err != nil {
 		return nil, err
+	}
+	s.parEffLanes.Add(int64(reps[0].EffectiveParallel))
+	if par > 1 && reps[0].ParallelFallback != "" {
+		s.parFallbacks.mu.Lock()
+		if s.parFallbacks.m == nil {
+			s.parFallbacks.m = make(map[string]int64)
+		}
+		s.parFallbacks.m[reps[0].ParallelFallback]++
+		s.parFallbacks.mu.Unlock()
 	}
 	body, err := Encode(req, reps[0])
 	if err != nil {
@@ -351,7 +410,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	untrack := s.trackPending()
 	body, err, leader := s.flight.Do(ctx, key, func() ([]byte, error) {
 		return s.sched.Submit(ctx, LaneInteractive, func(jctx context.Context) ([]byte, error) {
-			return s.runJob(jctx, canon, key)
+			return s.runJob(jctx, canon, key, LaneInteractive)
 		})
 	})
 	untrack()
@@ -554,6 +613,17 @@ type Metrics struct {
 	RunEventsTotal  uint64  `json:"run_events_total"`
 	RunWallSecTotal float64 `json:"run_wall_sec_total"`
 
+	// Intra-run parallelism: the configured width cap, runs granted more
+	// than one lane, runs the load policy narrowed back to sequential,
+	// the summed effective width over finished runs (divide by RunsTotal
+	// for mean lane utilization), and per-reason fallback counts reported
+	// by the runs themselves.
+	SimParallelMax           int              `json:"sim_parallel_max"`
+	SimParallelWideRunsTotal int64            `json:"sim_parallel_wide_runs_total"`
+	SimParallelNarrowedTotal int64            `json:"sim_parallel_narrowed_total"`
+	SimParallelEffLanesTotal int64            `json:"sim_parallel_effective_lanes_total"`
+	SimParallelFallbacks     map[string]int64 `json:"sim_parallel_fallbacks,omitempty"`
+
 	// Estimate-mode counters: analytic requests served without touching
 	// the scheduler (RunsTotal is by construction unmoved by these).
 	EstimatesTotal          int64   `json:"estimates_total"`
@@ -618,6 +688,11 @@ func (s *Server) MetricsSnapshot() Metrics {
 		RunWallSecTotal: time.Duration(s.runWallNs.Load()).Seconds(),
 		RunMeanSec:      time.Duration(s.runDurEWMA.Load()).Seconds(),
 
+		SimParallelMax:           s.opts.MaxParallel,
+		SimParallelWideRunsTotal: s.parWideRuns.Load(),
+		SimParallelNarrowedTotal: s.parNarrowedRuns.Load(),
+		SimParallelEffLanesTotal: s.parEffLanes.Load(),
+
 		EstimatesTotal:          s.estimates.Load(),
 		EstimateCacheHits:       s.estimateHits.Load(),
 		EstimateErrorTotal:      s.estimateFailed.Load(),
@@ -626,6 +701,14 @@ func (s *Server) MetricsSnapshot() Metrics {
 	if m.EstimatesTotal > 0 {
 		m.EstimateLatencyMeanSec = m.EstimateLatencySecTotal / float64(m.EstimatesTotal)
 	}
+	s.parFallbacks.mu.Lock()
+	if len(s.parFallbacks.m) > 0 {
+		m.SimParallelFallbacks = make(map[string]int64, len(s.parFallbacks.m))
+		for k, v := range s.parFallbacks.m {
+			m.SimParallelFallbacks[k] = v
+		}
+	}
+	s.parFallbacks.mu.Unlock()
 	s.errClasses.mu.Lock()
 	if len(s.errClasses.m) > 0 {
 		m.ErrorClasses = make(map[string]int64, len(s.errClasses.m))

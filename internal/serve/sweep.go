@@ -482,7 +482,7 @@ func (s *Server) sweepPoint(ctx context.Context, p SweepPoint, timeout time.Dura
 		return s.sched.SubmitWait(ctx, LaneBatch, func(jctx context.Context) ([]byte, error) {
 			pctx, cancel := context.WithTimeout(jctx, timeout)
 			defer cancel()
-			return s.runJob(pctx, p.Req, p.Key)
+			return s.runJob(pctx, p.Req, p.Key, LaneBatch)
 		})
 	})
 	if err != nil {

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// LaneGroup runs several engines ("lanes") as one conservative parallel
+// discrete-event simulation. Each lane owns a disjoint partition of the model
+// (its own processes, resources, and event queue); lanes interact only
+// through Post, which delivers a callback into another lane after at least
+// the group's lookahead — the minimum cross-lane latency of the model.
+//
+// Execution proceeds in windows. Between windows, pending cross-lane
+// messages are merged into their destination queues in a canonical order
+// (timestamp, then source lane, then source issue order). Each window picks
+// T = the earliest pending event across all lanes and runs every lane with
+// work before H = T + lookahead concurrently up to that horizon. Because no
+// lane can affect another sooner than lookahead ahead of its own clock, no
+// event fired inside the window can invalidate another lane's window — the
+// classical conservative (Chandy–Misra style) argument — so the merged
+// execution is identical to a sequential one, independent of worker count
+// and interleaving. Determinism is by construction: lanes share nothing
+// during a window, and all cross-lane effects are sequenced by the canonical
+// merge between windows.
+type LaneGroup struct {
+	lanes     []*Engine
+	lookahead float64
+	outbox    [][]laneMsg // per source lane; written only by that lane's window
+	seqs      []uint64    // per source lane issue counter
+	scratch   []laneMsg   // merge buffer, reused across windows
+	runnable  []int
+	windows   uint64
+	laneRuns  uint64 // lane-window executions, for utilization reporting
+}
+
+// laneMsg is one cross-lane delivery: fn runs in lane dst at time at. The
+// source coordinates make the merge order canonical.
+type laneMsg struct {
+	at      float64
+	dst     int
+	srcLane int
+	srcSeq  uint64
+	fn      func()
+}
+
+// NewLaneGroup creates n fresh lanes coupled with the given lookahead (the
+// minimum model latency of any cross-lane interaction, > 0). Build each
+// lane's partition of the model on Lane(i), then call Run.
+func NewLaneGroup(n int, lookahead float64) *LaneGroup {
+	if n < 1 {
+		panic("sim: lane group needs at least one lane")
+	}
+	if lookahead <= 0 {
+		panic("sim: lane group lookahead must be positive")
+	}
+	lg := &LaneGroup{
+		lookahead: lookahead,
+		lanes:     make([]*Engine, n),
+		outbox:    make([][]laneMsg, n),
+		seqs:      make([]uint64, n),
+	}
+	for i := range lg.lanes {
+		lg.lanes[i] = NewEngine()
+	}
+	return lg
+}
+
+// Lanes returns the number of lanes.
+func (lg *LaneGroup) Lanes() int { return len(lg.lanes) }
+
+// Lane returns lane i's engine.
+func (lg *LaneGroup) Lane(i int) *Engine { return lg.lanes[i] }
+
+// Lookahead returns the group's coupling latency.
+func (lg *LaneGroup) Lookahead() float64 { return lg.lookahead }
+
+// Windows returns how many synchronization windows Run executed.
+func (lg *LaneGroup) Windows() uint64 { return lg.windows }
+
+// LaneRuns returns the total number of lane-window executions — divided by
+// Windows, the average parallelism the model actually exposed.
+func (lg *LaneGroup) LaneRuns() uint64 { return lg.laneRuns }
+
+// Post schedules fn to run in lane dst, delay seconds after lane src's
+// current time. It must be called from code running inside lane src (or
+// before Run starts), and delay must be at least the group's lookahead —
+// that bound is what makes the windows safe, so violating it panics rather
+// than silently corrupting the merge order.
+func (lg *LaneGroup) Post(src, dst int, delay float64, fn func()) {
+	if delay < lg.lookahead {
+		panic(fmt.Sprintf("sim: cross-lane delay %g below lookahead %g", delay, lg.lookahead))
+	}
+	lg.seqs[src]++
+	lg.outbox[src] = append(lg.outbox[src], laneMsg{
+		at:      lg.lanes[src].now + delay,
+		dst:     dst,
+		srcLane: src,
+		srcSeq:  lg.seqs[src],
+		fn:      fn,
+	})
+}
+
+// deliver merges all pending cross-lane messages into their destination
+// queues in canonical order, then clears the outboxes.
+func (lg *LaneGroup) deliver() {
+	msgs := lg.scratch[:0]
+	for src := range lg.outbox {
+		msgs = append(msgs, lg.outbox[src]...)
+		lg.outbox[src] = lg.outbox[src][:0]
+	}
+	if len(msgs) == 0 {
+		lg.scratch = msgs
+		return
+	}
+	sort.Slice(msgs, func(i, j int) bool {
+		a, b := msgs[i], msgs[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.srcLane != b.srcLane {
+			return a.srcLane < b.srcLane
+		}
+		return a.srcSeq < b.srcSeq
+	})
+	for i := range msgs {
+		m := &msgs[i]
+		lg.lanes[m.dst].At(m.at, m.fn)
+		m.fn = nil
+	}
+	lg.scratch = msgs[:0]
+}
+
+// runLane executes one lane's window, converting a lane panic into an error
+// so the group can tear down the siblings instead of crashing the process.
+func (lg *LaneGroup) runLane(i int, horizon float64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sim: lane %d panicked: %v", i, r)
+		}
+	}()
+	return lg.lanes[i].RunUntil(horizon)
+}
+
+// Run executes the group to completion with up to parallel lanes running
+// concurrently per window (parallel <= 1 runs the same windowed schedule on
+// the calling goroutine). The result — event orders, clocks, statistics of
+// every lane — is identical for every parallel value and GOMAXPROCS setting.
+//
+// After the last window each lane is drained with Run, so per-lane deadlock
+// detection and teardown behave exactly as for a standalone engine; the
+// first lane error (by lane index) is returned.
+func (lg *LaneGroup) Run(parallel int) error {
+	errs := make([]error, len(lg.lanes))
+	for {
+		lg.deliver()
+		var (
+			t   float64
+			any bool
+		)
+		for _, ln := range lg.lanes {
+			if nt, ok := ln.nextTime(); ok && (!any || nt < t) {
+				t, any = nt, true
+			}
+		}
+		if !any {
+			break
+		}
+		horizon := t + lg.lookahead
+		runnable := lg.runnable[:0]
+		for i, ln := range lg.lanes {
+			if nt, ok := ln.nextTime(); ok && nt < horizon {
+				runnable = append(runnable, i)
+			}
+		}
+		lg.runnable = runnable
+		lg.windows++
+		lg.laneRuns += uint64(len(runnable))
+		if parallel <= 1 || len(runnable) == 1 {
+			for _, i := range runnable {
+				errs[i] = lg.runLane(i, horizon)
+			}
+		} else {
+			var wg sync.WaitGroup
+			sem := make(chan struct{}, parallel)
+			for _, i := range runnable {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					sem <- struct{}{}
+					errs[i] = lg.runLane(i, horizon)
+					<-sem
+				}(i)
+			}
+			wg.Wait()
+		}
+		for i, err := range errs {
+			if err != nil {
+				lg.stopAll()
+				return fmt.Errorf("sim: lane %d: %w", i, err)
+			}
+		}
+	}
+	// Global quiescence: drain each lane so deadlock detection and teardown
+	// run with standalone-engine semantics.
+	var firstErr error
+	for i, ln := range lg.lanes {
+		if err := ln.Run(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("sim: lane %d: %w", i, err)
+		}
+	}
+	return firstErr
+}
+
+// stopAll tears down every lane that is still running.
+func (lg *LaneGroup) stopAll() {
+	for _, ln := range lg.lanes {
+		if !ln.stopped {
+			ln.Stop()
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRunUntilPausesAtBound(t *testing.T) {
+	e := NewEngine()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	if err := e.RunUntil(2.5); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events before 2.5 only", fired)
+	}
+	// The bound is exclusive: an event exactly at the bound stays pending.
+	if err := e.RunUntil(3); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want bound to be exclusive", fired)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(fired) != 4 {
+		t.Fatalf("fired %v, want all 4", fired)
+	}
+}
+
+func TestRunUntilKeepsProcessesParked(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	e.Spawn("p", func(p *Proc) {
+		trace = append(trace, "start")
+		p.Delay(10)
+		trace = append(trace, fmt.Sprintf("woke@%g", p.Now()))
+	})
+	if err := e.RunUntil(5); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if got := strings.Join(trace, ","); got != "start" {
+		t.Fatalf("after first window trace = %q", got)
+	}
+	if err := e.RunUntil(20); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if got := strings.Join(trace, ","); got != "start,woke@10" {
+		t.Fatalf("after second window trace = %q", got)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("final Run: %v", err)
+	}
+}
+
+// laneFingerprint captures everything observable about a finished group.
+type laneFingerprint struct {
+	hashes []uint64
+	events []uint64
+	times  []float64
+}
+
+// runLaneWorkload builds and runs a deterministic cross-lane workload:
+// every lane runs a driver process that alternates local delays, local
+// resource contention, and cross-lane posts; each posted callback hashes the
+// arrival time into the destination lane's slot and spawns a short-lived
+// process contending on the destination's resource. The workload exercises
+// processes, resources, continuations, and the merge path all at once.
+func runLaneWorkload(t *testing.T, nLanes, parallel, iters int) laneFingerprint {
+	t.Helper()
+	const la = 1e-3 // lookahead
+	lg := NewLaneGroup(nLanes, la)
+	hashes := make([]uint64, nLanes)
+	res := make([]*Resource, nLanes)
+	for i := 0; i < nLanes; i++ {
+		res[i] = NewResource(lg.Lane(i), fmt.Sprintf("r%d", i), 1)
+	}
+	mix := func(lane int, v float64) {
+		hashes[lane] = hashes[lane]*1099511628211 ^ math.Float64bits(v)
+	}
+	for i := 0; i < nLanes; i++ {
+		i := i
+		lg.Lane(i).Spawn(fmt.Sprintf("drv%d", i), func(p *Proc) {
+			for k := 0; k < iters; k++ {
+				p.Delay(1e-4 + float64((i*37+k*13)%10)*1e-5)
+				res[i].Use(p, 5e-5)
+				mix(i, p.Now())
+				dst := (i + 1 + k%(nLanes-1)) % nLanes
+				if nLanes == 1 {
+					dst = 0
+				}
+				delay := la + float64(k%3)*5e-4
+				lg.Post(i, dst, delay, func() {
+					ln := lg.Lane(dst)
+					mix(dst, ln.Now())
+					ln.Spawn("echo", func(q *Proc) {
+						res[dst].Use(q, 2e-5)
+						mix(dst, q.Now())
+					})
+				})
+			}
+		})
+	}
+	if err := lg.Run(parallel); err != nil {
+		t.Fatalf("lanes=%d parallel=%d: %v", nLanes, parallel, err)
+	}
+	fp := laneFingerprint{hashes: hashes}
+	for i := 0; i < nLanes; i++ {
+		fp.events = append(fp.events, lg.Lane(i).Events())
+		fp.times = append(fp.times, lg.Lane(i).Now())
+	}
+	return fp
+}
+
+func fingerprintEqual(a, b laneFingerprint) bool {
+	for i := range a.hashes {
+		if a.hashes[i] != b.hashes[i] || a.events[i] != b.events[i] || a.times[i] != b.times[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestLaneGroupDeterministicAcrossParallelism is the acceptance property of
+// conservative parallel execution: the full observable outcome — per-lane
+// event counts, clocks, and the order-sensitive hash of every cross-lane
+// arrival — is identical whatever the worker width or GOMAXPROCS.
+func TestLaneGroupDeterministicAcrossParallelism(t *testing.T) {
+	const lanes, iters = 5, 40
+	ref := runLaneWorkload(t, lanes, 1, iters)
+	for _, par := range []int{2, 3, 8} {
+		got := runLaneWorkload(t, lanes, par, iters)
+		if !fingerprintEqual(ref, got) {
+			t.Fatalf("parallel=%d diverged:\nref %+v\ngot %+v", par, ref, got)
+		}
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	got := runLaneWorkload(t, lanes, 8, iters)
+	if !fingerprintEqual(ref, got) {
+		t.Fatalf("GOMAXPROCS=1 diverged:\nref %+v\ngot %+v", ref, got)
+	}
+}
+
+// TestLaneGroupStress drives a bigger workload at full width, primarily for
+// the race detector: lanes share nothing inside a window, and this fails
+// under -race if that ever stops being true.
+func TestLaneGroupStress(t *testing.T) {
+	iters := 200
+	if testing.Short() {
+		iters = 60
+	}
+	a := runLaneWorkload(t, 8, 8, iters)
+	b := runLaneWorkload(t, 8, 4, iters)
+	if !fingerprintEqual(a, b) {
+		t.Fatalf("stress fingerprints diverged")
+	}
+}
+
+func TestLaneGroupPostBelowLookaheadPanics(t *testing.T) {
+	lg := NewLaneGroup(2, 1e-3)
+	lg.Lane(0).Spawn("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("Post below lookahead did not panic")
+			}
+			p.Abort(errors.New("done"))
+		}()
+		lg.Post(0, 1, 1e-4, func() {})
+	})
+	_ = lg.Run(2)
+}
+
+func TestLaneGroupReportsLaneDeadlock(t *testing.T) {
+	lg := NewLaneGroup(2, 1e-3)
+	sig := NewSignal(lg.Lane(1))
+	lg.Lane(0).At(0.5, func() {})
+	lg.Lane(1).Spawn("stuck", func(p *Proc) { p.WaitSignal(sig) })
+	err := lg.Run(2)
+	if err == nil || !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+	if !strings.Contains(err.Error(), "lane 1") {
+		t.Fatalf("err = %v, want lane 1 attribution", err)
+	}
+}
+
+func TestLaneGroupPropagatesAbort(t *testing.T) {
+	lg := NewLaneGroup(3, 1e-3)
+	cause := errors.New("injected")
+	lg.Lane(2).Spawn("victim", func(p *Proc) {
+		p.Delay(0.25)
+		p.Abort(cause)
+	})
+	for i := 0; i < 2; i++ {
+		i := i
+		lg.Lane(i).Spawn("busy", func(p *Proc) {
+			for k := 0; k < 100; k++ {
+				p.Delay(0.01)
+			}
+			_ = i
+		})
+	}
+	err := lg.Run(3)
+	if err == nil || !errors.Is(err, ErrAborted) || !errors.Is(err, cause) {
+		t.Fatalf("err = %v, want aborted with cause", err)
+	}
+}
+
+func TestLaneGroupWindowCounters(t *testing.T) {
+	lg := NewLaneGroup(2, 1e-3)
+	for i := 0; i < 2; i++ {
+		i := i
+		lg.Lane(i).Spawn("p", func(p *Proc) {
+			for k := 0; k < 10; k++ {
+				p.Delay(1e-3)
+			}
+		})
+	}
+	if err := lg.Run(2); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if lg.Windows() == 0 || lg.LaneRuns() < lg.Windows() {
+		t.Fatalf("windows=%d laneRuns=%d, want non-trivial progress accounting",
+			lg.Windows(), lg.LaneRuns())
+	}
+}

@@ -202,6 +202,15 @@ func (p *Proc) WaitSignal(s *Signal) {
 	if s.fired {
 		return
 	}
-	s.waiters = append(s.waiters, p)
+	s.waiters = append(s.waiters, waiter{proc: p})
 	p.block()
 }
+
+// Suspend parks the process until another event wakes it via Engine.Wake
+// (or a resource/signal grant). It is the blocking half of the kernel's
+// continuation-passing protocol: event-driven operations issued by this
+// process run as ordinary events while the issuer sleeps here, and the
+// operation's terminal event is a wake of this process. The caller must
+// guarantee a wake is already scheduled or will be scheduled by pending
+// events — Suspend with no wake in flight deadlocks the run.
+func (p *Proc) Suspend() { p.block() }

