@@ -24,6 +24,13 @@
 //	pariobench -sweep 'app=fft&procs=1,2,4&opt=both'
 //	pariobench -estimate -n 500
 //	pariobench -parallel 8 -n 20        # intra-run parallelism contract drive
+//	pariobench -cluster 127.0.0.1:7471,127.0.0.1:7472,127.0.0.1:7473 -n 24
+//
+// With -cluster it drives a running sharded cluster (every listed node) and
+// verifies the cluster contract: the same key answers byte-identical bodies
+// from every node, the cluster-wide runs_total moves by exactly the number
+// of unique cold keys — one simulation per key no matter which node is
+// asked — and a repeat pass is all cache with zero new simulations anywhere.
 //
 // With -parallel N it spawns a sequential server and a -max-parallel N
 // server, drives both over the same cold request set, and verifies the
@@ -59,14 +66,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pariobench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr     = fs.String("addr", "", "daemon address; empty spawns an in-process server")
-		n        = fs.Int("n", 60, "total requests to fire")
-		c        = fs.Int("c", 8, "concurrent clients")
-		hot      = fs.Float64("hot", 0.8, "fraction of requests drawn from the small hot set")
-		sweep    = fs.String("sweep", "", "sweep spec as /sweep query parameters; runs the sweep drive instead of the mixed stream")
-		estimate = fs.Bool("estimate", false, "drive /run?mode=estimate and verify the estimate contract")
-		p99Bound = fs.Duration("p99", time.Millisecond, "estimate drive: maximum acceptable p99 latency")
-		parallel = fs.Int("parallel", 0, "drive the intra-run parallelism contract: spawn a -max-parallel N server and verify bodies match a sequential one")
+		addr      = fs.String("addr", "", "daemon address; empty spawns an in-process server")
+		n         = fs.Int("n", 60, "total requests to fire")
+		c         = fs.Int("c", 8, "concurrent clients")
+		hot       = fs.Float64("hot", 0.8, "fraction of requests drawn from the small hot set")
+		sweep     = fs.String("sweep", "", "sweep spec as /sweep query parameters; runs the sweep drive instead of the mixed stream")
+		estimate  = fs.Bool("estimate", false, "drive /run?mode=estimate and verify the estimate contract")
+		p99Bound  = fs.Duration("p99", time.Millisecond, "estimate drive: maximum acceptable p99 latency")
+		parallel  = fs.Int("parallel", 0, "drive the intra-run parallelism contract: spawn a -max-parallel N server and verify bodies match a sequential one")
+		clusterAt = fs.String("cluster", "", "comma-separated node addresses of a running sharded cluster; runs the cluster contract drive")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -81,6 +89,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		return parallelDrive(*parallel, *n, stdout, stderr)
+	}
+	if *clusterAt != "" {
+		return clusterDrive(*clusterAt, *n, stdout, stderr)
 	}
 
 	base := "http://" + *addr
@@ -145,7 +156,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				case err != nil:
 					fails++
 					fmt.Fprintf(stderr, "pariobench: request %d: %v\n", i, err)
-				case outcome == "hit":
+				case outcome == "hit", outcome == "l2":
 					hits++
 				case outcome == "miss":
 					misses++
@@ -350,6 +361,167 @@ func fetchParallelMetrics(base string) (parallelMetrics, error) {
 	}
 	err = json.NewDecoder(resp.Body).Decode(&m)
 	return m, err
+}
+
+// clusterDrive verifies the sharded-cluster contract against a running
+// cluster of the listed nodes:
+//
+//  1. every node answers byte-identical bodies (and the same cache key) for
+//     the same request — ownership and proxying are invisible in the result
+//  2. the cluster-wide runs_total moves by exactly the number of unique
+//     cold keys driven: one simulation per key, no matter how many nodes
+//     were asked — the cluster-wide singleflight-by-construction invariant
+//  3. a repeat pass over the same keys is all cache (hit/l2) everywhere and
+//     moves no run counter on any node
+func clusterDrive(addrs string, n int, stdout, stderr io.Writer) int {
+	var bases []string
+	for _, a := range strings.Split(addrs, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" {
+			continue
+		}
+		if !strings.Contains(a, "://") {
+			a = "http://" + a
+		}
+		bases = append(bases, strings.TrimSuffix(a, "/"))
+	}
+	if len(bases) < 2 {
+		fmt.Fprintln(stderr, "pariobench: -cluster needs at least 2 node addresses")
+		return 2
+	}
+
+	sumRuns := func() (int64, error) {
+		var total int64
+		for _, b := range bases {
+			m, err := fetchMetrics(b)
+			if err != nil {
+				return 0, fmt.Errorf("%s: %v", b, err)
+			}
+			if !m.ClusterEnabled {
+				return 0, fmt.Errorf("%s is not in cluster mode", b)
+			}
+			total += m.RunsTotal
+		}
+		return total, nil
+	}
+	before, err := sumRuns()
+	if err != nil {
+		fmt.Fprintf(stderr, "pariobench: %v\n", err)
+		return 1
+	}
+
+	// Distinct cold keys: each i names a different canonical request.
+	reqFor := func(i int) serve.Request {
+		return serve.Request{App: "scf30", Input: "SMALL", CachedPct: 1 + i%89, Procs: 4 * (1 + i/89)}
+	}
+
+	type answer struct {
+		body  []byte
+		cache string
+		key   string
+		owner string
+	}
+	ask := func(base string, req serve.Request) (answer, error) {
+		body, err := json.Marshal(req)
+		if err != nil {
+			return answer{}, err
+		}
+		resp, err := http.Post(base+"/run", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return answer{}, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return answer{}, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return answer{}, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(b))
+		}
+		return answer{
+			body:  b,
+			cache: resp.Header.Get("X-Pario-Cache"),
+			key:   resp.Header.Get("X-Pario-Key"),
+			owner: resp.Header.Get("X-Pario-Owner"),
+		}, nil
+	}
+
+	// Cold pass: every key is asked of every node, entry node rotating so
+	// each node fronts some keys. Every answer for one key must agree
+	// byte-for-byte regardless of which node was asked.
+	ownerKeys := make(map[string]int)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		req := reqFor(i)
+		var first answer
+		for j := 0; j < len(bases); j++ {
+			base := bases[(i+j)%len(bases)]
+			a, err := ask(base, req)
+			if err != nil {
+				fmt.Fprintf(stderr, "pariobench: key %d via %s: %v\n", i, base, err)
+				return 1
+			}
+			if a.owner == "" {
+				fmt.Fprintf(stderr, "pariobench: FAIL: %s answered without X-Pario-Owner — not proxying?\n", base)
+				return 1
+			}
+			if j == 0 {
+				first = a
+				ownerKeys[a.owner]++
+				continue
+			}
+			if !bytes.Equal(a.body, first.body) {
+				fmt.Fprintf(stderr, "pariobench: FAIL: key %d: body from %s differs from first answer\n", i, base)
+				return 1
+			}
+			if a.key != first.key || a.owner != first.owner {
+				fmt.Fprintf(stderr, "pariobench: FAIL: key %d: nodes disagree on key/owner (%s/%s vs %s/%s)\n",
+					i, a.key, a.owner, first.key, first.owner)
+				return 1
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	afterCold, err := sumRuns()
+	if err != nil {
+		fmt.Fprintf(stderr, "pariobench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "pariobench: %d keys x %d nodes in %.2fs; owner spread: %v\n",
+		n, len(bases), elapsed.Seconds(), ownerKeys)
+	if runs := afterCold - before; runs != int64(n) {
+		fmt.Fprintf(stderr, "pariobench: FAIL: cluster-wide runs_total moved by %d for %d unique cold keys — a key simulated on more than one node\n",
+			runs, n)
+		return 1
+	}
+
+	// Repeat pass: all cache, everywhere, zero new simulations.
+	for i := 0; i < n; i++ {
+		req := reqFor(i)
+		for _, base := range bases {
+			a, err := ask(base, req)
+			if err != nil {
+				fmt.Fprintf(stderr, "pariobench: repeat key %d via %s: %v\n", i, base, err)
+				return 1
+			}
+			if a.cache != "hit" && a.cache != "l2" {
+				fmt.Fprintf(stderr, "pariobench: FAIL: repeat key %d via %s was %q, want hit or l2\n", i, base, a.cache)
+				return 1
+			}
+		}
+	}
+	final, err := sumRuns()
+	if err != nil {
+		fmt.Fprintf(stderr, "pariobench: %v\n", err)
+		return 1
+	}
+	if final != afterCold {
+		fmt.Fprintf(stderr, "pariobench: FAIL: repeat pass re-simulated (%d -> %d)\n", afterCold, final)
+		return 1
+	}
+	fmt.Fprintf(stdout, "pariobench: OK: bodies byte-identical from every node, %d runs for %d keys, repeat pass all-cache\n", n, n)
+	return 0
 }
 
 // fire posts one run request and returns its X-Pario-Cache outcome,
@@ -652,6 +824,7 @@ type metrics struct {
 	CacheHits        int64 `json:"cache_hits"`
 	SweepPointsTotal int64 `json:"sweep_points_total"`
 	EstimatesTotal   int64 `json:"estimates_total"`
+	ClusterEnabled   bool  `json:"cluster_enabled"`
 }
 
 func fetchMetrics(base string) (metrics, error) {

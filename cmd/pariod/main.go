@@ -12,6 +12,11 @@
 //	pariod -batch-queue 512 -max-sweep-points 8192 -max-sweeps 2
 //	pariod -max-parallel 8                  # intra-run event lanes for interactive runs
 //	pariod -pprof-addr 127.0.0.1:6060      # net/http/pprof on its own listener
+//	pariod -cache-dir /var/lib/pario -cache-disk-bytes 1073741824
+//	                                       # persistent disk (L2) result cache
+//	pariod -addr :7471 -node-id 0 \
+//	       -peers 127.0.0.1:7471,127.0.0.1:7472,127.0.0.1:7473
+//	                                       # one node of a sharded cluster
 //
 // Endpoints:
 //
@@ -28,6 +33,17 @@
 // slot. Estimates are cached under mode-marked keys disjoint from the
 // exact results; fault-plan requests answer a structured 422
 // (estimate_unsupported).
+//
+// Cluster mode (-peers + -node-id) shards the content-address space across
+// a static peer list with rendezvous hashing: each key's owner simulates
+// it, every other node proxies /run there and fans /sweep points out, so
+// the cluster as a whole never simulates a key twice. Every node takes the
+// identical -peers list; -node-id is this node's position in it. The disk
+// cache (-cache-dir) persists results across restarts: a restarted node
+// re-serves everything it ever simulated without re-running the kernel.
+//
+// /healthz is liveness (200 while the process is alive, draining included);
+// /healthz?ready=1 is readiness (503 once draining starts).
 //
 // SIGINT/SIGTERM drain gracefully: in-flight runs finish and their
 // responses are written in full before the process exits.
@@ -46,6 +62,8 @@ import (
 	"syscall"
 	"time"
 
+	"pario/internal/cluster"
+	"pario/internal/diskcache"
 	"pario/internal/serve"
 )
 
@@ -85,6 +103,11 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		queue      = fs.Int("queue", 64, "interactive (/run) admission queue depth; a full queue answers 429")
 		batchQueue = fs.Int("batch-queue", 256, "batch (/sweep) lane queue depth; sweeps block on it as flow control")
 		cache      = fs.Int("cache", 512, "result cache capacity in entries")
+		cacheBytes = fs.Int64("cache-bytes", 0, "additional in-memory cache bound in total body bytes (0 = entries only)")
+		cacheDir   = fs.String("cache-dir", "", "persistent disk (L2) result cache directory (empty = off)")
+		diskBytes  = fs.Int64("cache-disk-bytes", 1<<30, "disk cache size bound in bytes (with -cache-dir)")
+		peers      = fs.String("peers", "", "comma-separated cluster peer list, this node included (empty = single-node)")
+		nodeID     = fs.Int("node-id", 0, "this node's index into -peers")
 		timeout    = fs.Duration("timeout", 60*time.Second, "per-request ceiling (requests may ask for less via ?timeout_sec=)")
 		maxPoints  = fs.Int("max-sweep-points", 4096, "largest expanded grid one /sweep may name")
 		maxSweeps  = fs.Int("max-sweeps", 4, "concurrently streaming sweeps; excess sweeps answer 429")
@@ -105,11 +128,41 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		fmt.Fprintf(stdout, "pariod: pprof on http://%s/debug/pprof/\n", paddr)
 	}
 
+	var ring *cluster.Ring
+	if *peers != "" {
+		list, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			fmt.Fprintf(stderr, "pariod: %v\n", err)
+			return 2
+		}
+		ring, err = cluster.New(list, *nodeID)
+		if err != nil {
+			fmt.Fprintf(stderr, "pariod: %v\n", err)
+			return 2
+		}
+	}
+
+	var l2 *diskcache.Cache
+	if *cacheDir != "" {
+		var err error
+		l2, err = diskcache.Open(*cacheDir, *diskBytes)
+		if err != nil {
+			fmt.Fprintf(stderr, "pariod: disk cache: %v\n", err)
+			return 1
+		}
+		defer l2.Close()
+		fmt.Fprintf(stdout, "pariod: disk cache %s: %d entries, %d bytes recovered\n",
+			l2.Dir(), l2.Len(), l2.Bytes())
+	}
+
 	srv := serve.New(serve.Options{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		BatchQueueDepth: *batchQueue,
 		CacheEntries:    *cache,
+		CacheBytes:      *cacheBytes,
+		L2:              l2,
+		Cluster:         ring,
 		Timeout:         *timeout,
 		MaxSweepPoints:  *maxPoints,
 		MaxSweeps:       *maxSweeps,
@@ -121,6 +174,10 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		return 1
 	}
 	fmt.Fprintf(stdout, "pariod: listening on http://%s\n", bound)
+	if ring != nil {
+		fmt.Fprintf(stdout, "pariod: cluster node %d of %d, self %s\n",
+			ring.Self().ID, ring.Len(), ring.Self().URL)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

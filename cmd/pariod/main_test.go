@@ -183,10 +183,104 @@ func TestPprofHook(t *testing.T) {
 	}
 }
 
-// TestDaemonBadFlags pins the usage exit code.
+// TestDaemonBadFlags pins the usage exit code, including malformed cluster
+// flags — a node that cannot build its ring must refuse to start rather
+// than silently serve single-node.
 func TestDaemonBadFlags(t *testing.T) {
 	var stdout, stderr bytes.Buffer
-	if code := run([]string{"-definitely-not-a-flag"}, &stdout, &stderr, nil, nil); code != 2 {
-		t.Fatalf("exit code %d, want 2", code)
+	for _, args := range [][]string{
+		{"-definitely-not-a-flag"},
+		{"-peers", "ftp://bad:1,127.0.0.1:2"},
+		{"-peers", "127.0.0.1:1,127.0.0.1:2", "-node-id", "5"},
+		{"-peers", "127.0.0.1:1"},
+	} {
+		if code := run(args, &stdout, &stderr, nil, nil); code != 2 {
+			t.Fatalf("run(%v) exit code %d, want 2", args, code)
+		}
 	}
+}
+
+// TestDaemonDiskCacheRestart drives the single-node persistence story
+// through the binary seam: run once with -cache-dir, drain, start a fresh
+// process on the same directory, and the same request answers from disk
+// (X-Pario-Cache: l2) without a single new simulation.
+func TestDaemonDiskCacheRestart(t *testing.T) {
+	dir := t.TempDir()
+	const reqBody = `{"app":"fft","procs":4,"input":"65536"}`
+
+	boot := func() (addr string, stop chan struct{}, exited chan int, out *bytes.Buffer) {
+		t.Helper()
+		var stdout, stderr bytes.Buffer
+		ready := make(chan string, 1)
+		stop = make(chan struct{})
+		exited = make(chan int, 1)
+		go func() {
+			exited <- run([]string{"-addr", "127.0.0.1:0", "-workers", "1",
+				"-cache-dir", dir, "-cache-disk-bytes", "1048576"},
+				&stdout, &stderr, ready, stop)
+		}()
+		select {
+		case addr = <-ready:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("daemon did not come up; stderr: %s", stderr.String())
+		}
+		return addr, stop, exited, &stdout
+	}
+	post := func(addr string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post("http://"+addr+"/run", "application/json", strings.NewReader(reqBody))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, b
+	}
+	drain := func(stop chan struct{}, exited chan int) {
+		t.Helper()
+		close(stop)
+		select {
+		case code := <-exited:
+			if code != 0 {
+				t.Fatalf("exit code %d", code)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not drain")
+		}
+	}
+
+	addr, stop, exited, _ := boot()
+	cold, body1 := post(addr)
+	if cold.StatusCode != http.StatusOK || cold.Header.Get("X-Pario-Cache") != "miss" {
+		t.Fatalf("cold: status %d cache %q", cold.StatusCode, cold.Header.Get("X-Pario-Cache"))
+	}
+	drain(stop, exited)
+
+	addr2, stop2, exited2, out2 := boot()
+	warm, body2 := post(addr2)
+	if warm.StatusCode != http.StatusOK || warm.Header.Get("X-Pario-Cache") != "l2" {
+		t.Fatalf("after restart: status %d cache %q, want 200 l2", warm.StatusCode, warm.Header.Get("X-Pario-Cache"))
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatal("disk-served body differs from the original")
+	}
+	mresp, err := http.Get("http://" + addr2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		RunsTotal int64 `json:"runs_total"`
+		L2Hits    int64 `json:"l2_hits"`
+	}
+	if err := json.NewDecoder(mresp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if m.RunsTotal != 0 || m.L2Hits != 1 {
+		t.Fatalf("after restart: runs=%d l2_hits=%d, want 0/1", m.RunsTotal, m.L2Hits)
+	}
+	if !strings.Contains(out2.String(), "entries") {
+		t.Fatalf("startup log missing disk-cache recovery line: %s", out2.String())
+	}
+	drain(stop2, exited2)
 }

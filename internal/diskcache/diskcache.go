@@ -1,0 +1,341 @@
+// Package diskcache is the persistent second-level result cache behind
+// pariod's in-memory LRU: one content-addressed file per cached body, so a
+// restarted (or freshly booted) node answers every key it has ever
+// simulated without re-running the kernel. Soundness is inherited from the
+// simulator's determinism — a body is a pure function of its canonical
+// request, so entries never expire and a recovered file is as good as a
+// fresh run.
+//
+// Durability and integrity contract:
+//
+//   - Writes are atomic: the body goes to a tmp file in the cache
+//     directory, is fsynced, and is renamed onto its final name. Readers
+//     can never observe a half-written entry under its key.
+//   - Every file carries a header (magic, body length, CRC-32C). Reads
+//     verify it; a mismatch — a torn write that dodged the rename
+//     barrier, bit rot, an alien file wearing a key name — quarantines
+//     the file (renamed to *.bad) and reports a miss.
+//   - Open scans the directory: leftover tmp files from a crashed writer
+//     are deleted, every entry's header is verified (corrupt ones are
+//     quarantined on the spot), and the survivors are indexed coldest
+//     first by modification time.
+//
+// The cache is byte-size-bounded: eviction drops least-recently-used
+// entries (recency is tracked in memory and persisted, best-effort, by
+// bumping the file's timestamps on access, so the LRU order approximately
+// survives a restart).
+package diskcache
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// magic identifies a cache entry file; bumping it invalidates every entry
+// written by an older incompatible layout.
+const magic = "PDC1"
+
+// headerLen is magic (4) + big-endian body length (8) + CRC-32C (4).
+const headerLen = 4 + 8 + 4
+
+// tmpPrefix marks in-progress writes; Open deletes any leftovers.
+const tmpPrefix = "tmp-"
+
+// badSuffix marks quarantined entries. They are renamed, not deleted, so a
+// corruption burst stays inspectable; they never count against the bound.
+const badSuffix = ".bad"
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed cache.
+var ErrClosed = errors.New("diskcache: closed")
+
+// Cache is a content-addressed, byte-bounded, disk-backed body cache.
+// All methods are safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	dir      string
+	maxBytes int64
+	closed   bool
+
+	ll *list.List // front = most recently used
+	m  map[string]*list.Element
+
+	bytes int64 // sum of indexed entry file sizes (header + body)
+
+	hits, misses, puts, evictions, quarantined int64
+}
+
+type entry struct {
+	key  string
+	size int64
+}
+
+// validKey reports whether key is safe as a bare file name in the cache
+// directory: non-empty lower-hex, as content addresses are. Anything else
+// is refused rather than risking path traversal.
+func validKey(key string) bool {
+	if key == "" || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Open creates dir if needed, recovers every intact entry in it, and
+// returns the cache. maxBytes bounds the total indexed file bytes; <= 0
+// means unbounded. Recovery deletes stale tmp files, quarantines entries
+// whose header or CRC does not verify, and seeds the LRU order from file
+// modification times (oldest coldest).
+func Open(dir string, maxBytes int64) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	c := &Cache{
+		dir:      dir,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		m:        make(map[string]*list.Element),
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	type found struct {
+		key  string
+		size int64
+		mod  time.Time
+	}
+	var scan []found
+	for _, de := range ents {
+		name := de.Name()
+		if de.IsDir() {
+			continue
+		}
+		if len(name) > len(tmpPrefix) && name[:len(tmpPrefix)] == tmpPrefix {
+			// A writer died mid-Put; its tmp never reached a key name.
+			_ = os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		if !validKey(name) {
+			continue // quarantined *.bad files and strangers stay untouched
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		if _, err := c.readVerify(name); err != nil {
+			c.quarantine(name)
+			continue
+		}
+		scan = append(scan, found{key: name, size: info.Size(), mod: info.ModTime()})
+	}
+	// Coldest first, so pushing front leaves the most recently written
+	// entries warmest; ties broken by key for determinism.
+	sort.Slice(scan, func(i, j int) bool {
+		if !scan[i].mod.Equal(scan[j].mod) {
+			return scan[i].mod.Before(scan[j].mod)
+		}
+		return scan[i].key < scan[j].key
+	})
+	for _, f := range scan {
+		c.m[f.key] = c.ll.PushFront(&entry{key: f.key, size: f.size})
+		c.bytes += f.size
+	}
+	c.evict()
+	return c, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// readVerify reads the entry file for key and returns its body after
+// checking magic, length and CRC. Callers hold no lock requirements; the
+// file is immutable once renamed into place.
+func (c *Cache) readVerify(key string) ([]byte, error) {
+	raw, err := os.ReadFile(filepath.Join(c.dir, key))
+	if err != nil {
+		return nil, err
+	}
+	if len(raw) < headerLen || string(raw[:4]) != magic {
+		return nil, fmt.Errorf("diskcache: %s: bad header", key)
+	}
+	n := binary.BigEndian.Uint64(raw[4:12])
+	if n != uint64(len(raw)-headerLen) {
+		return nil, fmt.Errorf("diskcache: %s: length %d, have %d body bytes", key, n, len(raw)-headerLen)
+	}
+	body := raw[headerLen:]
+	if crc32.Checksum(body, crcTable) != binary.BigEndian.Uint32(raw[12:16]) {
+		return nil, fmt.Errorf("diskcache: %s: CRC mismatch", key)
+	}
+	return body, nil
+}
+
+// quarantine renames a corrupt entry out of the key namespace.
+func (c *Cache) quarantine(key string) {
+	_ = os.Rename(filepath.Join(c.dir, key), filepath.Join(c.dir, key+badSuffix))
+	c.quarantined++
+}
+
+// Get returns the cached body for key, marking it most recently used. A
+// file whose integrity check fails is quarantined and reported as a miss.
+// Callers must not mutate the returned slice.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if c.closed || !ok {
+		c.misses++
+		return nil, false
+	}
+	body, err := c.readVerify(key)
+	if err != nil {
+		// The index believed in this entry; the disk disagreed. Drop both.
+		c.dropLocked(el)
+		c.quarantine(key)
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	// Best-effort recency persistence: the next Open's mtime scan keeps
+	// this entry warm. Failure only costs restart ordering.
+	now := time.Now()
+	_ = os.Chtimes(filepath.Join(c.dir, key), now, now)
+	return body, true
+}
+
+// Put stores body under key with an atomic tmp+fsync+rename write, then
+// evicts cold entries past the byte bound. Re-putting an existing key only
+// refreshes its recency — by determinism the bytes are the same.
+func (c *Cache) Put(key string, body []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("diskcache: invalid key %q", key)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		return nil
+	}
+	size, err := c.writeAtomic(key, body)
+	if err != nil {
+		return err
+	}
+	c.puts++
+	c.m[key] = c.ll.PushFront(&entry{key: key, size: size})
+	c.bytes += size
+	c.evict()
+	return nil
+}
+
+// writeAtomic writes header+body to a tmp file, syncs, and renames it onto
+// key. The tmp lives in the cache dir so the rename never crosses a
+// filesystem boundary.
+func (c *Cache) writeAtomic(key string, body []byte) (int64, error) {
+	f, err := os.CreateTemp(c.dir, tmpPrefix+"*")
+	if err != nil {
+		return 0, fmt.Errorf("diskcache: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) (int64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("diskcache: %w", err)
+	}
+	var hdr [headerLen]byte
+	copy(hdr[:4], magic)
+	binary.BigEndian.PutUint64(hdr[4:12], uint64(len(body)))
+	binary.BigEndian.PutUint32(hdr[12:16], crc32.Checksum(body, crcTable))
+	if _, err := f.Write(hdr[:]); err != nil {
+		return fail(err)
+	}
+	if _, err := f.Write(body); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("diskcache: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(c.dir, key)); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("diskcache: %w", err)
+	}
+	return int64(headerLen + len(body)), nil
+}
+
+// evict drops coldest entries while the byte bound is exceeded, always
+// retaining at least one entry — a single body larger than the bound is
+// kept rather than thrashing. Caller holds mu.
+func (c *Cache) evict() {
+	if c.maxBytes <= 0 {
+		return
+	}
+	for c.bytes > c.maxBytes && c.ll.Len() > 1 {
+		oldest := c.ll.Back()
+		e := oldest.Value.(*entry)
+		c.dropLocked(oldest)
+		_ = os.Remove(filepath.Join(c.dir, e.key))
+		c.evictions++
+	}
+}
+
+// dropLocked removes an element from the index only. Caller holds mu.
+func (c *Cache) dropLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.m, e.key)
+	c.bytes -= e.size
+}
+
+// Close detaches the cache from its directory; entries stay on disk for
+// the next Open. Further Gets miss and Puts return ErrClosed.
+func (c *Cache) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+}
+
+// Len returns the number of indexed entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the total indexed file bytes (headers included).
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Counters returns the cumulative hit, miss, put, eviction and quarantine
+// counts.
+func (c *Cache) Counters() (hits, misses, puts, evictions, quarantined int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.puts, c.evictions, c.quarantined
+}

@@ -1,0 +1,377 @@
+package diskcache
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// key returns a distinct valid (lower-hex) content address per index.
+func key(i int) string {
+	return fmt.Sprintf("%064x", i+1)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := []byte("{\"report\":42}\n")
+	if err := c.Put(key(0), body); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key(0))
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("Get = %q, %v; want %q", got, ok, body)
+	}
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("absent key reported present")
+	}
+	hits, misses, puts, _, _ := c.Counters()
+	if hits != 1 || misses != 1 || puts != 1 {
+		t.Fatalf("counters hits=%d misses=%d puts=%d, want 1/1/1", hits, misses, puts)
+	}
+	if c.Len() != 1 || c.Bytes() != int64(headerLen+len(body)) {
+		t.Fatalf("len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+}
+
+func TestInvalidKeysRefused(t *testing.T) {
+	c, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"", "../escape", "ABCDEF", "deadbeef/x", tmpPrefix + "123", strings.Repeat("a", 200)} {
+		if err := c.Put(k, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted an invalid key", k)
+		}
+		if _, ok := c.Get(k); ok {
+			t.Errorf("Get(%q) reported present", k)
+		}
+	}
+}
+
+// TestReopenRecovers proves the restart contract: a second Open over the
+// same directory serves every body written by the first, byte-identical.
+func TestReopenRecovers(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := c.Put(key(i), []byte(fmt.Sprintf("body-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+
+	re, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 8 {
+		t.Fatalf("recovered %d entries, want 8", re.Len())
+	}
+	for i := 0; i < 8; i++ {
+		got, ok := re.Get(key(i))
+		if !ok || string(got) != fmt.Sprintf("body-%d", i) {
+			t.Fatalf("entry %d: %q, %v", i, got, ok)
+		}
+	}
+}
+
+// TestTornFileQuarantinedOnOpen simulates the partial writes a crash can
+// leave behind: a truncated entry, a bit-flipped body, a short header, and
+// an orphaned tmp file. Open must quarantine (or delete, for tmp) each,
+// index none of them, and keep the intact entries.
+func TestTornFileQuarantinedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := c.Put(key(i), []byte(fmt.Sprintf("intact-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+
+	// Torn tail: the file lost bytes after the header was written.
+	truncate(t, filepath.Join(dir, key(0)), -3)
+	// Bit rot: flip one body byte; length still matches, CRC must catch it.
+	flipLastByte(t, filepath.Join(dir, key(1)))
+	// Short header: not even magic survived.
+	if err := os.WriteFile(filepath.Join(dir, key(2)), []byte("PD"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Orphaned tmp from a writer that died pre-rename.
+	if err := os.WriteFile(filepath.Join(dir, tmpPrefix+"orphan"), []byte("half"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 1 {
+		t.Fatalf("recovered %d entries, want only the intact one", re.Len())
+	}
+	if got, ok := re.Get(key(3)); !ok || string(got) != "intact-3" {
+		t.Fatalf("intact entry lost: %q, %v", got, ok)
+	}
+	for i := 0; i < 3; i++ {
+		if _, ok := re.Get(key(i)); ok {
+			t.Fatalf("corrupt entry %d served", i)
+		}
+	}
+	if _, _, _, _, q := re.Counters(); q != 3 {
+		t.Fatalf("quarantined = %d, want 3", q)
+	}
+	// The corpses are renamed out of the key namespace, not deleted...
+	for i := 0; i < 3; i++ {
+		if _, err := os.Stat(filepath.Join(dir, key(i)+badSuffix)); err != nil {
+			t.Fatalf("quarantined file %d missing: %v", i, err)
+		}
+	}
+	// ...and the tmp orphan is gone.
+	if _, err := os.Stat(filepath.Join(dir, tmpPrefix+"orphan")); !os.IsNotExist(err) {
+		t.Fatalf("tmp orphan survived Open: %v", err)
+	}
+	// A third Open must not count the quarantined files again.
+	re.Close()
+	re2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, _, q := re2.Counters(); q != 0 {
+		t.Fatalf("re-quarantined %d already-quarantined files", q)
+	}
+}
+
+// TestCorruptionDetectedOnGet covers rot after Open: the index trusts the
+// entry, the read's CRC check does not, and the entry is quarantined and
+// reported as a miss rather than served corrupt.
+func TestCorruptionDetectedOnGet(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key(0), []byte("pristine")); err != nil {
+		t.Fatal(err)
+	}
+	flipLastByte(t, filepath.Join(dir, key(0)))
+	if body, ok := c.Get(key(0)); ok {
+		t.Fatalf("corrupt entry served: %q", body)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("corrupt entry still indexed")
+	}
+	if _, _, _, _, q := c.Counters(); q != 1 {
+		t.Fatalf("quarantined = %d, want 1", q)
+	}
+	if _, err := os.Stat(filepath.Join(dir, key(0)+badSuffix)); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+}
+
+// TestEvictionKeepsBytesBounded pins the byte bound: total indexed bytes
+// never exceed it (beyond the single-entry floor), eviction is LRU, and
+// evicted files leave the disk.
+func TestEvictionKeepsBytesBounded(t *testing.T) {
+	dir := t.TempDir()
+	entrySize := int64(headerLen + 100)
+	c, err := Open(dir, 3*entrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := bytes.Repeat([]byte("x"), 100)
+	for i := 0; i < 10; i++ {
+		if err := c.Put(key(i), body); err != nil {
+			t.Fatal(err)
+		}
+		if c.Bytes() > 3*entrySize {
+			t.Fatalf("after put %d: %d bytes exceeds bound %d", i, c.Bytes(), 3*entrySize)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	_, _, _, ev, _ := c.Counters()
+	if ev != 7 {
+		t.Fatalf("evictions = %d, want 7", ev)
+	}
+	// LRU: the three newest survive, and their files are the only ones left.
+	for i := 7; i < 10; i++ {
+		if _, ok := c.Get(key(i)); !ok {
+			t.Fatalf("warm entry %d evicted", i)
+		}
+	}
+	for i := 0; i < 7; i++ {
+		if _, err := os.Stat(filepath.Join(dir, key(i))); !os.IsNotExist(err) {
+			t.Fatalf("evicted file %d still on disk: %v", i, err)
+		}
+	}
+	// A Get refresh protects an entry from the next eviction round.
+	if _, ok := c.Get(key(7)); !ok {
+		t.Fatal("entry 7 missing")
+	}
+	if err := c.Put(key(10), body); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key(7)); !ok {
+		t.Fatal("recently used entry 7 evicted before colder entry 8")
+	}
+	if _, ok := c.Get(key(8)); ok {
+		t.Fatal("coldest entry 8 survived eviction")
+	}
+}
+
+// TestOversizedEntryRetained pins the single-entry floor: one body larger
+// than the whole bound is kept (never thrashing between Put and evict),
+// and the next Put displaces it.
+func TestOversizedEntryRetained(t *testing.T) {
+	c, err := Open(t.TempDir(), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte("y"), 500)
+	if err := c.Put(key(0), big); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := c.Get(key(0)); !ok || !bytes.Equal(got, big) {
+		t.Fatal("oversized entry not retained")
+	}
+	if err := c.Put(key(1), []byte("small")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key(0)); ok {
+		t.Fatal("oversized entry survived a displacing Put")
+	}
+}
+
+// TestEvictionOnOpen: recovery honors a bound smaller than what is on
+// disk, dropping the oldest-by-mtime entries.
+func TestEvictionOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := bytes.Repeat([]byte("z"), 50)
+	for i := 0; i < 6; i++ {
+		if err := c.Put(key(i), body); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so the recovery order is unambiguous even on
+		// coarse filesystem clocks.
+		past := time.Now().Add(time.Duration(i-10) * time.Hour)
+		if err := os.Chtimes(filepath.Join(dir, key(i)), past, past); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Close()
+	re, err := Open(dir, 2*int64(headerLen+50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 2 {
+		t.Fatalf("recovered %d entries under the bound, want 2", re.Len())
+	}
+	for _, i := range []int{4, 5} {
+		if _, ok := re.Get(key(i)); !ok {
+			t.Fatalf("newest entry %d evicted on open", i)
+		}
+	}
+}
+
+// TestConcurrentHammer runs mixed Get/Put traffic from many goroutines
+// over a small bounded cache; run with -race. Every served body must match
+// its key's content.
+func TestConcurrentHammer(t *testing.T) {
+	c, err := Open(t.TempDir(), 40*int64(headerLen+32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodyFor := func(i int) []byte {
+		return []byte(fmt.Sprintf("%032d", i))
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				k := (g*37 + i) % 64
+				if body, ok := c.Get(key(k)); ok {
+					if !bytes.Equal(body, bodyFor(k)) {
+						t.Errorf("key %d holds %q", k, body)
+					}
+				} else if err := c.Put(key(k), bodyFor(k)); err != nil {
+					t.Errorf("Put(%d): %v", k, err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if max := 40 * int64(headerLen+32); c.Bytes() > max {
+		t.Fatalf("bytes %d exceed bound %d after hammer", c.Bytes(), max)
+	}
+	// No tmp litter survives the hammer.
+	ents, err := os.ReadDir(c.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range ents {
+		if strings.HasPrefix(de.Name(), tmpPrefix) {
+			t.Fatalf("tmp litter: %s", de.Name())
+		}
+	}
+}
+
+func TestClosedCache(t *testing.T) {
+	c, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(key(0), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	if err := c.Put(key(1), []byte("y")); err != ErrClosed {
+		t.Fatalf("Put after Close = %v, want ErrClosed", err)
+	}
+	if _, ok := c.Get(key(0)); ok {
+		t.Fatal("Get served after Close")
+	}
+}
+
+func truncate(t *testing.T, path string, delta int64) {
+	t.Helper()
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()+delta); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func flipLastByte(t *testing.T, path string) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

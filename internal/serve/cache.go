@@ -9,11 +9,20 @@ import (
 // encoded response body. Soundness rests on the simulator's determinism —
 // for a given canonical request the body is a pure function of the request
 // — so entries never expire; they only fall off the cold end.
+//
+// The cache is doubly bounded: by entry count and, optionally, by total
+// body bytes. The byte bound is the one that matters under mixed traffic —
+// a 4096-point sweep of multi-megabyte bodies and a sweep of tiny ones
+// must not get the same memory cap just because they have the same entry
+// count.
 type Cache struct {
-	mu  sync.Mutex
-	cap int
-	ll  *list.List // front = most recently used
-	m   map[string]*list.Element
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64      // <= 0 means entry bound only
+	ll       *list.List // front = most recently used
+	m        map[string]*list.Element
+
+	bytes int64 // sum of cached body lengths
 
 	hits, misses, evictions int64
 }
@@ -23,12 +32,21 @@ type cacheEntry struct {
 	body []byte
 }
 
-// NewCache returns a cache bounded to capacity entries (minimum 1).
+// NewCache returns a cache bounded to capacity entries (minimum 1), with
+// no byte bound.
 func NewCache(capacity int) *Cache {
+	return NewCacheBytes(capacity, 0)
+}
+
+// NewCacheBytes returns a cache bounded to capacity entries (minimum 1)
+// and, when maxBytes > 0, to maxBytes total body bytes. At least one entry
+// is always retained, so a single body larger than maxBytes caches rather
+// than thrashing.
+func NewCacheBytes(capacity int, maxBytes int64) *Cache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Cache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+	return &Cache{cap: capacity, maxBytes: maxBytes, ll: list.New(), m: make(map[string]*list.Element)}
 }
 
 // Get returns the cached body for key, marking it most recently used.
@@ -46,7 +64,7 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).body, true
 }
 
-// Put stores body under key, evicting from the cold end past capacity.
+// Put stores body under key, evicting from the cold end past either bound.
 // Re-putting an existing key refreshes its recency (the body is identical
 // by determinism, so which copy survives is immaterial).
 func (c *Cache) Put(key string, body []byte) {
@@ -54,14 +72,19 @@ func (c *Cache) Put(key string, body []byte) {
 	defer c.mu.Unlock()
 	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry).body = body
-		return
+		e := el.Value.(*cacheEntry)
+		c.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
+	} else {
+		c.m[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+		c.bytes += int64(len(body))
 	}
-	c.m[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
-	for c.ll.Len() > c.cap {
+	for c.ll.Len() > 1 && (c.ll.Len() > c.cap || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
 		oldest := c.ll.Back()
+		e := oldest.Value.(*cacheEntry)
 		c.ll.Remove(oldest)
-		delete(c.m, oldest.Value.(*cacheEntry).key)
+		delete(c.m, e.key)
+		c.bytes -= int64(len(e.body))
 		c.evictions++
 	}
 }
@@ -71,6 +94,13 @@ func (c *Cache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// Bytes returns the total cached body bytes.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
 }
 
 // Counters returns the cumulative hit, miss and eviction counts.

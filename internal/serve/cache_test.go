@@ -45,6 +45,44 @@ func TestCacheRePutRefreshes(t *testing.T) {
 	}
 }
 
+// TestCacheByteBound pins the byte-bounded LRU satellite: total cached body
+// bytes never exceed the bound (entry count permitting), eviction proceeds
+// from the cold end, accounting follows replacement, and a single oversized
+// body is retained rather than thrashed.
+func TestCacheByteBound(t *testing.T) {
+	c := NewCacheBytes(100, 10)
+	c.Put("a", []byte("aaaa")) // 4 bytes
+	c.Put("b", []byte("bbbb")) // 8
+	if c.Bytes() != 8 || c.Len() != 2 {
+		t.Fatalf("bytes=%d len=%d, want 8/2", c.Bytes(), c.Len())
+	}
+	c.Put("c", []byte("cccc")) // 12 > 10: a (coldest) evicted
+	if c.Bytes() != 8 || c.Len() != 2 {
+		t.Fatalf("after byte eviction: bytes=%d len=%d, want 8/2", c.Bytes(), c.Len())
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("coldest entry survived the byte bound")
+	}
+	// Replacement accounting: growing b's body in place evicts past the
+	// bound again.
+	c.Put("b", []byte("bbbbbbbb")) // b=8 + c=4 = 12 > 10: c now coldest
+	if _, ok := c.Get("c"); ok {
+		t.Fatal("c survived replacement growth")
+	}
+	if c.Bytes() != 8 || c.Len() != 1 {
+		t.Fatalf("after replacement: bytes=%d len=%d, want 8/1", c.Bytes(), c.Len())
+	}
+	// A single oversized body caches anyway — one entry always survives.
+	c.Put("big", make([]byte, 64))
+	c.Put("big2", make([]byte, 64))
+	if c.Len() != 1 || c.Bytes() != 64 {
+		t.Fatalf("oversized handling: len=%d bytes=%d, want 1/64", c.Len(), c.Bytes())
+	}
+	if _, ok := c.Get("big2"); !ok {
+		t.Fatal("newest oversized entry missing")
+	}
+}
+
 // TestCacheConcurrent hammers Get/Put from many goroutines; run with -race.
 func TestCacheConcurrent(t *testing.T) {
 	c := NewCache(32)

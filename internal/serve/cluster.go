@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pario/internal/cluster"
+	"pario/internal/core"
+)
+
+// Cluster mode: N pariod instances consistent-hash the content-address
+// space among themselves (internal/cluster, rendezvous hashing). The owner
+// of a key runs the simulation; every other node proxies /run to the owner
+// and fans /sweep points out to their owners. Because exactly one node ever
+// simulates a given key, the per-node singleflight becomes cluster-wide by
+// construction, and the cluster-wide runs_total for a cold grid equals the
+// number of unique keys in it.
+//
+// The proxy protocol is plain /run over HTTP with three extra headers:
+//
+//   - X-Pario-Forwarded-By names the proxying node and is the forwarding-
+//     loop guard: a node that receives a forwarded request serves it
+//     locally no matter what its own ring says, so disagreeing peer lists
+//     degrade to extra local work, never to a forwarding cycle.
+//   - X-Pario-Lane carries the admission class: proxied sweep points run
+//     on the owner's batch lane (blocking admission, workers prefer
+//     interactive), exactly as local sweep points do, so a remote sweep
+//     cannot 429 or starve the owner's interactive traffic.
+//   - X-Pario-Owner on every cluster-mode response names the key's owner,
+//     so clients and smoke tests can observe the sharding.
+//
+// X-Pario-Cache, X-Pario-Key, Retry-After, the response status and the
+// body are relayed verbatim — a proxied timeout returns the owner's
+// structured 504, a proxied failure the owner's structured 500 — and the
+// ?timeout_sec= the client asked for is propagated to the owner. An owner
+// that is unreachable or draining (transport error, 502, 503) triggers a
+// local fallback: determinism makes running the key anywhere sound, so
+// availability wins and only the no-duplicate-work property is (counted
+// and) temporarily relaxed.
+const (
+	forwardedByHeader = "X-Pario-Forwarded-By"
+	laneHeader        = "X-Pario-Lane"
+	ownerHeader       = "X-Pario-Owner"
+)
+
+// peerGrace pads the proxy client's deadline past the owner's own request
+// timeout, so the owner's structured 504 wins the race against our
+// transport cutting the connection.
+const peerGrace = 5 * time.Second
+
+// errPeerUnavailable marks owner-fetch failures that justify running the
+// key locally instead: transport errors and 502/503 answers.
+var errPeerUnavailable = errors.New("serve: peer unavailable")
+
+// SetCluster installs (or replaces) the peer ring. Call before serving
+// traffic, or from tests that learn their listen addresses late; nil
+// reverts to single-node operation.
+func (s *Server) SetCluster(ring *cluster.Ring) {
+	if ring == nil {
+		s.ring.Store((*clusterRing)(nil))
+		return
+	}
+	s.ring.Store(&clusterRing{ring})
+}
+
+// clusterRing wraps cluster.Ring so atomic.Pointer has a concrete local
+// type; a nil *clusterRing (or nil inner ring) means single-node.
+type clusterRing struct{ *cluster.Ring }
+
+func (s *Server) clusterOf() *cluster.Ring {
+	if cr := s.ring.Load(); cr != nil && cr.Ring != nil {
+		return cr.Ring
+	}
+	return nil
+}
+
+// fetchFromOwner posts canon to owner's /run with the loop-guard header,
+// the effective timeout, and the admission lane. The caller owns the
+// response. Transport failures and 502/503 answers come back wrapped in
+// errPeerUnavailable.
+func (s *Server) fetchFromOwner(ctx context.Context, owner cluster.Node, canon Request, timeout time.Duration, ln Lane) (*http.Response, error) {
+	b, err := json.Marshal(canon)
+	if err != nil {
+		return nil, err
+	}
+	url := owner.URL + "/run?timeout_sec=" + strconv.FormatFloat(timeout.Seconds(), 'f', -1, 64)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardedByHeader, s.clusterOf().Self().URL)
+	client := http.Client{Transport: s.peerTransport}
+	if ln == LaneBatch {
+		// A proxied sweep point may wait in the owner's batch queue for
+		// longer than its run timeout — blocking admission is the sweep's
+		// flow control — so only ctx (the sweep's own lifetime) bounds it.
+		req.Header.Set(laneHeader, "batch")
+	} else {
+		client.Timeout = timeout + peerGrace
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		s.peerProxyErr.Add(1)
+		return nil, fmt.Errorf("%w: %s: %v", errPeerUnavailable, owner.URL, err)
+	}
+	if resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		s.peerProxyErr.Add(1)
+		return nil, fmt.Errorf("%w: %s answered %d", errPeerUnavailable, owner.URL, resp.StatusCode)
+	}
+	return resp, nil
+}
+
+// proxyRun forwards an interactive /run to the key's owner and relays the
+// answer — status, contract headers and body bytes — end to end. An
+// unavailable owner falls back to running the key locally: the body is
+// byte-identical wherever it is computed.
+func (s *Server) proxyRun(w http.ResponseWriter, r *http.Request, canon Request, key string, timeout time.Duration) {
+	ring := s.clusterOf()
+	owner := ring.Owner(key)
+	resp, err := s.fetchFromOwner(r.Context(), owner, canon, timeout, LaneInteractive)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The client is gone; nobody is owed a fallback simulation.
+			s.canceled.Add(1)
+			http.Error(w, r.Context().Err().Error(), http.StatusGatewayTimeout)
+			return
+		}
+		s.peerLocalFallback.Add(1)
+		s.localRun(w, r, canon, key, timeout, LaneInteractive)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		// The exchange died mid-body; no bytes are committed yet, so the
+		// local fallback still produces a clean response.
+		s.peerProxyErr.Add(1)
+		s.peerLocalFallback.Add(1)
+		s.localRun(w, r, canon, key, timeout, LaneInteractive)
+		return
+	}
+	s.peerProxied.Add(1)
+	if resp.StatusCode == http.StatusOK {
+		// Bank the proxied body: determinism makes replication sound, so
+		// the next identical request on this node is a local (L1/L2) hit.
+		s.cachePut(key, body)
+	}
+	h := w.Header()
+	for _, name := range []string{"Content-Type", "X-Pario-Cache", "X-Pario-Key", "Retry-After", ownerHeader} {
+		if v := resp.Header.Get(name); v != "" {
+			h.Set(name, v)
+		}
+	}
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(body)
+}
+
+// peerPoint serves one sweep point whose key another node owns: fetch from
+// the owner on its batch lane, bank the body locally, and translate
+// failure answers into the same classified errors the local path yields.
+// errPeerUnavailable asks the caller to fall back to local execution.
+func (s *Server) peerPoint(ctx context.Context, p SweepPoint, timeout time.Duration) (body []byte, source string, err error) {
+	ring := s.clusterOf()
+	owner := ring.Owner(p.Key)
+	resp, err := s.fetchFromOwner(ctx, owner, p.Req, timeout, LaneBatch)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		s.peerProxyErr.Add(1)
+		return nil, "", fmt.Errorf("%w: %s: %v", errPeerUnavailable, owner.URL, err)
+	}
+	s.peerProxied.Add(1)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		s.cachePut(p.Key, raw)
+		return raw, resp.Header.Get("X-Pario-Cache"), nil
+	case http.StatusGatewayTimeout:
+		// The owner's run timed out: the same outcome class the local
+		// path's context deadline produces.
+		return nil, "", core.Classify("canceled",
+			fmt.Errorf("peer %s: %s", owner.URL, bytes.TrimSpace(raw)))
+	default:
+		// Structured owner failures carry {error, class}; relay the class
+		// so the sweep line is indistinguishable from a local failure.
+		var eb errorBody
+		if jsonErr := json.Unmarshal(raw, &eb); jsonErr == nil && eb.Class != "" {
+			return nil, "", core.Classify(eb.Class, fmt.Errorf("peer %s: %s", owner.URL, eb.Error))
+		}
+		return nil, "", fmt.Errorf("peer %s: status %d: %s", owner.URL, resp.StatusCode, bytes.TrimSpace(raw))
+	}
+}

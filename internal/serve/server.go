@@ -14,7 +14,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pario/internal/cluster"
 	"pario/internal/core"
+	"pario/internal/diskcache"
 	"pario/internal/exp"
 	"pario/internal/stats"
 )
@@ -34,6 +36,22 @@ type Options struct {
 	BatchQueueDepth int
 	// CacheEntries bounds the LRU result cache (default 512).
 	CacheEntries int
+	// CacheBytes additionally bounds the LRU result cache by total body
+	// bytes; 0 keeps the entry bound only. Under mixed traffic the byte
+	// bound is the real memory cap — 4096 large sweep bodies and 4096 tiny
+	// ones are not the same footprint.
+	CacheBytes int64
+	// L2 is an optional persistent second-level cache (internal/diskcache)
+	// backing the in-memory LRU: L1 misses consult it, fresh and proxied
+	// bodies fill it, and a restarted node answers every key it has ever
+	// simulated without re-running the kernel. The caller opens it (and
+	// owns recovery errors); nil disables the tier.
+	L2 *diskcache.Cache
+	// Cluster is the optional peer ring (internal/cluster): when set, this
+	// server only simulates keys it owns and proxies the rest to their
+	// owners (see cluster.go). nil means single-node. Tests that learn
+	// their listen addresses late can install it via SetCluster instead.
+	Cluster *cluster.Ring
 	// Timeout is the per-request ceiling, cancellation included; a
 	// request may ask for less via ?timeout_sec= but never more
 	// (default 60s).
@@ -87,9 +105,15 @@ func (o *Options) defaults() {
 type Server struct {
 	opts   Options
 	cache  *Cache
+	l2     *diskcache.Cache
 	flight flightGroup
 	sched  *Scheduler
 	mux    *http.ServeMux
+
+	// ring is the cluster peer map (nil wrapper contents = single-node);
+	// peerTransport is shared by every proxy exchange.
+	ring          atomic.Pointer[clusterRing]
+	peerTransport *http.Transport
 
 	// run is the execution seam: ExecuteParallel in production,
 	// replaceable in tests that need slow or failing runs.
@@ -122,6 +146,21 @@ type Server struct {
 	sweepCachedTotal   atomic.Int64
 	sweepFailedTotal   atomic.Int64
 	sweepCanceledTotal atomic.Int64
+
+	// Cluster counters: requests this node forwarded to an owner, forwarded
+	// requests this node served as owner, owner exchanges that failed,
+	// keys run locally because their owner was unavailable, and forwarded
+	// requests whose key this node does not own (peer lists disagree; the
+	// loop guard served them locally rather than re-forwarding).
+	peerProxied       atomic.Int64
+	peerServed        atomic.Int64
+	peerProxyErr      atomic.Int64
+	peerLocalFallback atomic.Int64
+	peerLoopGuard     atomic.Int64
+
+	// l2PutErrs counts disk-cache write failures: the response was still
+	// served (and L1-cached), only persistence was lost.
+	l2PutErrs atomic.Int64
 
 	// Work counters: what actually simulated. The cached path must leave
 	// runs untouched — that is the "never re-simulates" invariant the
@@ -183,12 +222,15 @@ type Server struct {
 func New(opts Options) *Server {
 	opts.defaults()
 	s := &Server{
-		opts:    opts,
-		cache:   NewCache(opts.CacheEntries),
-		sched:   NewScheduler(opts.Workers, opts.QueueDepth, opts.BatchQueueDepth),
-		run:     ExecuteParallel,
-		started: time.Now(),
+		opts:          opts,
+		cache:         NewCacheBytes(opts.CacheEntries, opts.CacheBytes),
+		l2:            opts.L2,
+		sched:         NewScheduler(opts.Workers, opts.QueueDepth, opts.BatchQueueDepth),
+		run:           ExecuteParallel,
+		peerTransport: &http.Transport{MaxIdleConnsPerHost: 16},
+		started:       time.Now(),
 	}
+	s.SetCluster(opts.Cluster)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/run", s.handleRun)
 	s.mux.HandleFunc("/sweep", s.handleSweep)
@@ -228,6 +270,35 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.sched.Close()
 	return nil
+}
+
+// cacheGet layers the two cache tiers: the in-memory LRU first, then the
+// disk cache, promoting a disk hit into memory. The source names the tier
+// that answered ("hit" = L1, "l2" = disk) and travels out on X-Pario-Cache,
+// so the restart smoke can prove a warm answer came from disk.
+func (s *Server) cacheGet(key string) (body []byte, source string, ok bool) {
+	if body, ok := s.cache.Get(key); ok {
+		return body, "hit", true
+	}
+	if s.l2 != nil {
+		if body, ok := s.l2.Get(key); ok {
+			s.cache.Put(key, body)
+			return body, "l2", true
+		}
+	}
+	return nil, "", false
+}
+
+// cachePut banks a response body in both tiers. A disk write failure is
+// counted, not surfaced: the caller already has the body, and losing
+// persistence must never fail a request.
+func (s *Server) cachePut(key string, body []byte) {
+	s.cache.Put(key, body)
+	if s.l2 != nil {
+		if err := s.l2.Put(key, body); err != nil {
+			s.l2PutErrs.Add(1)
+		}
+	}
 }
 
 // parallelFor decides how many event-execution lanes a run admitted on
@@ -287,8 +358,9 @@ func (s *Server) runJob(ctx context.Context, req Request, key string, ln Lane) (
 		return nil, err
 	}
 	// Fill before responding: even if the client has gone away, the work
-	// is banked for the next identical request.
-	s.cache.Put(key, body)
+	// is banked — in memory and on disk — for the next identical request,
+	// on this process or the one that replaces it after a restart.
+	s.cachePut(key, body)
 	if snap := reps[0].Stats; snap != nil {
 		s.sim.mu.Lock()
 		if s.sim.snap == nil {
@@ -395,24 +467,73 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	key := canon.Key()
 
-	if body, ok := s.cache.Get(key); ok {
+	ring := s.clusterOf()
+	if ring != nil {
+		// Name the key's owner on every cluster-mode response — even cache
+		// hits and errors — so clients and smoke tests can observe the
+		// sharding without consulting the ring themselves.
+		w.Header().Set(ownerHeader, ring.Owner(key).URL)
+	}
+
+	if body, source, ok := s.cacheGet(key); ok {
 		s.hit.Add(1)
-		s.respond(w, key, "hit", body)
+		s.respond(w, key, source, body)
 		return
 	}
 
 	if timeout <= 0 || timeout > s.opts.Timeout {
 		timeout = s.opts.Timeout
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	defer cancel()
 
+	ln := LaneInteractive
+	if ring != nil {
+		if fwd := r.Header.Get(forwardedByHeader); fwd != "" {
+			// A forwarded request is served locally no matter what our own
+			// ring says — the loop guard. Disagreeing peer lists degrade to
+			// extra local work (counted), never to a forwarding cycle.
+			s.peerServed.Add(1)
+			if !ring.IsOwner(key) {
+				s.peerLoopGuard.Add(1)
+			}
+			if r.Header.Get(laneHeader) == "batch" {
+				ln = LaneBatch
+			}
+		} else if !ring.IsOwner(key) {
+			s.proxyRun(w, r, canon, key, timeout)
+			return
+		}
+	}
+
+	s.localRun(w, r, canon, key, timeout, ln)
+}
+
+// localRun executes a cache-missed /run on this node: singleflight onto the
+// scheduler, then respond. The interactive lane sheds on a full queue (429);
+// the batch lane — forwarded sweep points — blocks for admission exactly as
+// local sweep points do, with the timeout clocked from simulation start.
+func (s *Server) localRun(w http.ResponseWriter, r *http.Request, canon Request, key string, timeout time.Duration, ln Lane) {
+	ctx := r.Context()
 	untrack := s.trackPending()
-	body, err, leader := s.flight.Do(ctx, key, func() ([]byte, error) {
-		return s.sched.Submit(ctx, LaneInteractive, func(jctx context.Context) ([]byte, error) {
-			return s.runJob(jctx, canon, key, LaneInteractive)
+	var body []byte
+	var err error
+	var leader bool
+	if ln == LaneBatch {
+		body, err, leader = s.flight.Do(ctx, key, func() ([]byte, error) {
+			return s.sched.SubmitWait(ctx, LaneBatch, func(jctx context.Context) ([]byte, error) {
+				pctx, cancel := context.WithTimeout(jctx, timeout)
+				defer cancel()
+				return s.runJob(pctx, canon, key, LaneBatch)
+			})
 		})
-	})
+	} else {
+		rctx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		body, err, leader = s.flight.Do(rctx, key, func() ([]byte, error) {
+			return s.sched.Submit(rctx, LaneInteractive, func(jctx context.Context) ([]byte, error) {
+				return s.runJob(jctx, canon, key, LaneInteractive)
+			})
+		})
+	}
 	untrack()
 	switch {
 	case err == nil:
@@ -425,7 +546,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	case errors.Is(err, ErrBusy):
 		s.rejected.Add(1)
-		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSec(LaneInteractive)))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSec(ln)))
 		http.Error(w, "queue full, retry later", http.StatusTooManyRequests)
 	case errors.Is(err, ErrDraining):
 		http.Error(w, "server draining", http.StatusServiceUnavailable)
@@ -542,8 +663,9 @@ func writeErrJSON(w http.ResponseWriter, status int, class string, err error) {
 	_, _ = w.Write(append(b, '\n'))
 }
 
-// respond writes a run result body. source is hit (cache), miss (this
-// request simulated) or shared (another in-flight request simulated).
+// respond writes a run result body. source is hit (in-memory cache), l2
+// (disk cache), miss (this request simulated) or shared (another in-flight
+// request simulated).
 func (s *Server) respond(w http.ResponseWriter, key, source string, body []byte) {
 	h := w.Header()
 	h.Set("Content-Type", "application/json")
@@ -553,13 +675,25 @@ func (s *Server) respond(w http.ResponseWriter, key, source string, body []byte)
 	_, _ = w.Write(body)
 }
 
+// handleHealthz separates liveness from readiness. Plain /healthz is
+// liveness: 200 whenever the process can answer, draining included — a
+// draining node is still alive and still finishing in-flight work, and
+// restarting it for "failing health checks" would kill that work.
+// /healthz?ready=1 is readiness: 503 once draining starts, so load
+// balancers and cluster peers stop routing new work here. The body always
+// names the state either way.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
 	if s.draining.Load() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
+		status = "draining"
+		if v := r.URL.Query().Get("ready"); v != "" && v != "0" {
+			code = http.StatusServiceUnavailable
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"status\":\"ok\",\"uptime_sec\":%.3f}\n", time.Since(s.started).Seconds())
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"status\":%q,\"uptime_sec\":%.3f}\n", status, time.Since(s.started).Seconds())
 }
 
 // Metrics is the /metrics document: serving counters alongside the
@@ -607,7 +741,37 @@ type Metrics struct {
 	SweepCanceledTotal      int64 `json:"sweep_canceled_total"`
 
 	CacheEntries   int   `json:"cache_entries"`
+	CacheBytes     int64 `json:"cache_bytes"`
 	CacheEvictions int64 `json:"cache_evictions"`
+
+	// L2 (disk cache) gauges and counters; all zero-valued when the tier is
+	// disabled. L2PutErrorsTotal counts lost persistence, not lost
+	// responses — a failed disk write never fails the request.
+	L2Enabled          bool  `json:"l2_enabled"`
+	L2Entries          int   `json:"l2_entries,omitempty"`
+	L2Bytes            int64 `json:"l2_bytes,omitempty"`
+	L2Hits             int64 `json:"l2_hits,omitempty"`
+	L2Misses           int64 `json:"l2_misses,omitempty"`
+	L2Puts             int64 `json:"l2_puts,omitempty"`
+	L2PutErrorsTotal   int64 `json:"l2_put_errors_total,omitempty"`
+	L2Evictions        int64 `json:"l2_evictions,omitempty"`
+	L2QuarantinedTotal int64 `json:"l2_quarantined_total,omitempty"`
+
+	// Cluster identity and proxy counters; zero-valued when single-node.
+	// PeerProxiedTotal counts owner exchanges this node completed as a
+	// proxy; PeerServedTotal counts forwarded requests served as owner;
+	// PeerLocalFallbackTotal counts keys run here because their owner was
+	// unavailable; PeerLoopGuardTotal counts forwarded keys this node does
+	// not own (peer-list disagreement, served locally anyway).
+	ClusterEnabled         bool   `json:"cluster_enabled"`
+	ClusterNodeID          int    `json:"cluster_node_id,omitempty"`
+	ClusterSelf            string `json:"cluster_self,omitempty"`
+	ClusterPeers           int    `json:"cluster_peers,omitempty"`
+	PeerProxiedTotal       int64  `json:"peer_proxied_total,omitempty"`
+	PeerServedTotal        int64  `json:"peer_served_total,omitempty"`
+	PeerProxyErrorsTotal   int64  `json:"peer_proxy_errors_total,omitempty"`
+	PeerLocalFallbackTotal int64  `json:"peer_local_fallback_total,omitempty"`
+	PeerLoopGuardTotal     int64  `json:"peer_loop_guard_total,omitempty"`
 
 	RunsTotal       int64   `json:"runs_total"`
 	RunEventsTotal  uint64  `json:"run_events_total"`
@@ -682,6 +846,7 @@ func (s *Server) MetricsSnapshot() Metrics {
 		SweepCanceledTotal:      s.sweepCanceledTotal.Load(),
 
 		CacheEntries:    s.cache.Len(),
+		CacheBytes:      s.cache.Bytes(),
 		CacheEvictions:  evictions,
 		RunsTotal:       s.runs.Load(),
 		RunEventsTotal:  s.runEvents.Load(),
@@ -700,6 +865,24 @@ func (s *Server) MetricsSnapshot() Metrics {
 	}
 	if m.EstimatesTotal > 0 {
 		m.EstimateLatencyMeanSec = m.EstimateLatencySecTotal / float64(m.EstimatesTotal)
+	}
+	if s.l2 != nil {
+		m.L2Enabled = true
+		m.L2Entries = s.l2.Len()
+		m.L2Bytes = s.l2.Bytes()
+		m.L2Hits, m.L2Misses, m.L2Puts, m.L2Evictions, m.L2QuarantinedTotal = s.l2.Counters()
+		m.L2PutErrorsTotal = s.l2PutErrs.Load()
+	}
+	if ring := s.clusterOf(); ring != nil {
+		m.ClusterEnabled = true
+		m.ClusterNodeID = ring.Self().ID
+		m.ClusterSelf = ring.Self().URL
+		m.ClusterPeers = ring.Len()
+		m.PeerProxiedTotal = s.peerProxied.Load()
+		m.PeerServedTotal = s.peerServed.Load()
+		m.PeerProxyErrorsTotal = s.peerProxyErr.Load()
+		m.PeerLocalFallbackTotal = s.peerLocalFallback.Load()
+		m.PeerLoopGuardTotal = s.peerLoopGuard.Load()
 	}
 	s.parFallbacks.mu.Lock()
 	if len(s.parFallbacks.m) > 0 {

@@ -439,38 +439,44 @@ func TestServerGracefulShutdownDrains(t *testing.T) {
 	}
 }
 
-// TestServerHealthz pins the health endpoint's OK shape.
+// TestServerHealthz pins the liveness/readiness split: plain /healthz stays
+// 200 while the process is alive — draining included — and only the
+// readiness probe (?ready=1) flips to 503 during drain, so orchestrators
+// stop routing without killing a node that is finishing in-flight work.
 func TestServerHealthz(t *testing.T) {
 	s := New(Options{Workers: 1, QueueDepth: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
-	resp, err := http.Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h struct {
+			Status string `json:"status"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, h.Status
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("status %d", resp.StatusCode)
+	if code, status := get("/healthz"); code != http.StatusOK || status != "ok" {
+		t.Fatalf("healthz = %d %q, want 200 ok", code, status)
 	}
-	var h struct {
-		Status string `json:"status"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
-		t.Fatal(err)
-	}
-	if h.Status != "ok" {
-		t.Fatalf("status = %q", h.Status)
+	if code, status := get("/healthz?ready=1"); code != http.StatusOK || status != "ok" {
+		t.Fatalf("ready probe = %d %q, want 200 ok", code, status)
 	}
 	s.sched.Close()
-	// Draining flag flips healthz to 503.
 	s.draining.Store(true)
-	resp2, err := http.Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
+	// Liveness stays 200 under drain; the body names the state.
+	if code, status := get("/healthz"); code != http.StatusOK || status != "draining" {
+		t.Fatalf("draining healthz = %d %q, want 200 draining", code, status)
 	}
-	resp2.Body.Close()
-	if resp2.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("draining healthz status %d, want 503", resp2.StatusCode)
+	// Readiness answers 503 so balancers and peers stop routing here.
+	if code, status := get("/healthz?ready=1"); code != http.StatusServiceUnavailable || status != "draining" {
+		t.Fatalf("draining ready probe = %d %q, want 503 draining", code, status)
 	}
 }
 

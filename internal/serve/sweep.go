@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -252,7 +253,7 @@ func parseStrTerms(s string) []string {
 type SweepLine struct {
 	Point int    `json:"point"`
 	Key   string `json:"key"`
-	Cache string `json:"cache,omitempty"` // hit | miss | shared
+	Cache string `json:"cache,omitempty"` // hit | l2 | miss | shared
 	Body  string `json:"body,omitempty"`
 	Error string `json:"error,omitempty"`
 	Class string `json:"class,omitempty"` // core.ErrorClass taxonomy on failures
@@ -409,7 +410,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			switch {
 			case err == nil:
 				okCount.Add(1)
-				if source == "hit" {
+				if source == "hit" || source == "l2" {
 					hits.Add(1)
 					s.sweepCachedTotal.Add(1)
 				}
@@ -468,13 +469,23 @@ func (s *Server) sweepEstimate(points []SweepPoint, skipped, deduped int, emit f
 	})
 }
 
-// sweepPoint serves one grid point: cache first, then singleflight onto the
-// batch lane with blocking admission — the batch queue bound is the sweep's
-// flow control, and the per-point timeout starts when the simulation does,
-// not while the point waits its turn.
+// sweepPoint serves one grid point: cache first, then — in cluster mode —
+// the key's owner, then singleflight onto the batch lane with blocking
+// admission. The batch queue bound is the sweep's flow control, and the
+// per-point timeout starts when the simulation does, not while the point
+// waits its turn.
 func (s *Server) sweepPoint(ctx context.Context, p SweepPoint, timeout time.Duration) ([]byte, string, error) {
-	if body, ok := s.cache.Get(p.Key); ok {
-		return body, "hit", nil
+	if body, source, ok := s.cacheGet(p.Key); ok {
+		return body, source, nil
+	}
+	if ring := s.clusterOf(); ring != nil && !ring.IsOwner(p.Key) {
+		body, source, err := s.peerPoint(ctx, p, timeout)
+		if err == nil || !errors.Is(err, errPeerUnavailable) {
+			return body, source, err
+		}
+		// Owner down: fall through and run the point locally — determinism
+		// makes the body identical wherever it is computed.
+		s.peerLocalFallback.Add(1)
 	}
 	untrack := s.trackPending()
 	defer untrack()

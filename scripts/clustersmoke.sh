@@ -1,0 +1,142 @@
+#!/bin/sh
+# clustersmoke.sh — end-to-end smoke of the sharded pariod cluster.
+#
+# Usage:
+#   scripts/clustersmoke.sh
+#
+# Builds pariod and pariobench, boots a 3-node cluster on loopback ports
+# (each node with its own persistent disk cache), and walks the cluster
+# contract:
+#   1. pariobench -cluster: the same key answers byte-identical bodies from
+#      every node, cluster-wide runs_total == unique cold keys (one
+#      simulation per key no matter which node is asked), repeat pass
+#      all-cache with zero new runs
+#   2. /metrics on every node carries the cluster identity and the peer
+#      proxy counters actually moved — the work really was sharded
+#   3. kill one node and restart it on the same cache directory: a key it
+#      owns answers X-Pario-Cache: l2 from disk, with the restarted node's
+#      runs_total still zero — restarts never re-simulate
+#   4. liveness vs readiness: /healthz and /healthz?ready=1 both 200 on a
+#      healthy node (the drain-time 503 is pinned by unit test)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid0=""; pid1=""; pid2=""
+cleanup() {
+    for p in "$pid0" "$pid1" "$pid2"; do
+        [ -n "$p" ] && kill "$p" 2>/dev/null || true
+    done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "clustersmoke: building..."
+go build -o "$tmp/pariod" ./cmd/pariod
+go build -o "$tmp/pariobench" ./cmd/pariobench
+
+# Pick a contiguous port triple from the PID and probe by actually booting
+# node 0; collisions retry on the next stride.
+peers=""
+p0=""; p1=""; p2=""
+start_node() { # id port log
+    "$tmp/pariod" -addr "127.0.0.1:$2" -node-id "$1" -peers "$peers" \
+        -workers 2 -cache-dir "$tmp/cache$1" -cache-disk-bytes 16777216 \
+        >"$3" 2>&1 &
+}
+wait_up() { # log pidvarname
+    i=0
+    while [ $i -lt 100 ]; do
+        grep -q 'pariod: listening on' "$1" && return 0
+        kill -0 "$2" 2>/dev/null || return 1
+        i=$((i+1)); sleep 0.1
+    done
+    return 1
+}
+
+try=0
+while [ $try -lt 5 ]; do
+    base_port=$(( 20000 + ( ( $$ + try * 131 ) % 20000 ) ))
+    p0=$base_port; p1=$((base_port+1)); p2=$((base_port+2))
+    peers="127.0.0.1:$p0,127.0.0.1:$p1,127.0.0.1:$p2"
+    start_node 0 "$p0" "$tmp/node0.log"; pid0=$!
+    if wait_up "$tmp/node0.log" "$pid0"; then break; fi
+    kill "$pid0" 2>/dev/null || true; wait "$pid0" 2>/dev/null || true; pid0=""
+    try=$((try+1))
+done
+[ -n "$pid0" ] || { echo "clustersmoke: FAIL: could not bind a port triple"; exit 1; }
+
+start_node 1 "$p1" "$tmp/node1.log"; pid1=$!
+start_node 2 "$p2" "$tmp/node2.log"; pid2=$!
+wait_up "$tmp/node1.log" "$pid1" || { cat "$tmp/node1.log"; echo "clustersmoke: FAIL: node 1 never bound"; exit 1; }
+wait_up "$tmp/node2.log" "$pid2" || { cat "$tmp/node2.log"; echo "clustersmoke: FAIL: node 2 never bound"; exit 1; }
+echo "clustersmoke: 3 nodes up on $peers"
+
+metric() { # port name
+    curl -fsS "http://127.0.0.1:$1/metrics" | sed -n "s/.*\"$2\": *\([0-9a-z]*\).*/\1/p" | head -1
+}
+
+# 4. Liveness and readiness both answer 200 while healthy.
+for p in "$p0" "$p1" "$p2"; do
+    curl -fsS "http://127.0.0.1:$p/healthz" >/dev/null
+    curl -fsS "http://127.0.0.1:$p/healthz?ready=1" >/dev/null
+done
+echo "clustersmoke: all nodes live and ready"
+
+# 1. The bench cluster drive asserts the sharding invariants end to end.
+"$tmp/pariobench" -cluster "$peers" -n 24
+
+# 2. Cluster identity and proxy counters are live on every node.
+proxied_sum=0
+for p in "$p0" "$p1" "$p2"; do
+    en=$(metric "$p" cluster_enabled)
+    [ "$en" = "true" ] || { echo "clustersmoke: FAIL: node :$p cluster_enabled=$en"; exit 1; }
+    pp=$(metric "$p" peer_proxied_total); pp=${pp:-0}
+    proxied_sum=$((proxied_sum + pp))
+done
+[ "$proxied_sum" -gt 0 ] || { echo "clustersmoke: FAIL: no request was ever proxied — sharding inert"; exit 1; }
+echo "clustersmoke: cluster metrics live, peer_proxied_total sum=$proxied_sum"
+
+# 3. Restart proof. Find a bench-driven key that node 2 owns by reading the
+# X-Pario-Owner header (24 keys over 3 nodes: some are node 2's).
+owner_url="http://127.0.0.1:$p2"
+found=""
+i=1
+while [ $i -le 24 ]; do
+    curl -fsS -D "$tmp/oh" -o /dev/null "http://127.0.0.1:$p0/run?app=scf30&input=SMALL&cached_pct=$i"
+    own=$(sed -n 's/^[Xx]-[Pp]ario-[Oo]wner: *//p' "$tmp/oh" | tr -d '\r')
+    if [ "$own" = "$owner_url" ]; then found=$i; break; fi
+    i=$((i+1))
+done
+[ -n "$found" ] || { echo "clustersmoke: FAIL: no key owned by node 2 among 24"; exit 1; }
+echo "clustersmoke: cached_pct=$found is owned by node 2; restarting node 2"
+
+runs_before=$(metric "$p2" runs_total)
+kill -TERM "$pid2"
+wait "$pid2" || { echo "clustersmoke: FAIL: node 2 exited non-zero"; cat "$tmp/node2.log"; exit 1; }
+pid2=""
+grep -q 'pariod: drained' "$tmp/node2.log" || { echo "clustersmoke: FAIL: node 2 did not drain"; exit 1; }
+
+start_node 2 "$p2" "$tmp/node2b.log"; pid2=$!
+wait_up "$tmp/node2b.log" "$pid2" || { cat "$tmp/node2b.log"; echo "clustersmoke: FAIL: node 2 never came back"; exit 1; }
+grep -q 'disk cache' "$tmp/node2b.log" || { echo "clustersmoke: FAIL: restarted node has no disk-cache recovery line"; exit 1; }
+
+# The restarted node's L1 is empty; the key it owns must answer from disk.
+curl -fsS -D "$tmp/wh" -o /dev/null "http://127.0.0.1:$p2/run?app=scf30&input=SMALL&cached_pct=$found"
+grep -qi '^x-pario-cache: l2' "$tmp/wh" || { echo "clustersmoke: FAIL: restarted node did not serve its own key from disk"; cat "$tmp/wh"; exit 1; }
+runs_after=$(metric "$p2" runs_total)
+[ "$runs_after" = 0 ] || { echo "clustersmoke: FAIL: restarted node re-simulated (runs_total=$runs_after)"; exit 1; }
+l2e=$(metric "$p2" l2_entries)
+[ "${l2e:-0}" -gt 0 ] || { echo "clustersmoke: FAIL: restarted node recovered 0 disk entries"; exit 1; }
+echo "clustersmoke: restart served warm from disk (l2_entries=$l2e, runs_total=0, was $runs_before before restart)"
+
+# Graceful teardown of the remaining nodes.
+for pv in pid0 pid1 pid2; do
+    eval "p=\$$pv"
+    [ -n "$p" ] || continue
+    kill -TERM "$p"
+    wait "$p" || { echo "clustersmoke: FAIL: $pv exited non-zero"; exit 1; }
+    eval "$pv=\"\""
+done
+echo "clustersmoke: OK"
