@@ -1,11 +1,16 @@
 // Command iogen generates a synthetic I/O workload and replays it against
 // a simulated machine under each I/O interface — a microbenchmark driver
-// for the machine models.
+// for the machine models. With -emit-trace it instead writes the workload
+// as a replayable trace file (see internal/trace) for pariod, iosim
+// -trace, or the tracerep experiment; -adversary swaps the pattern
+// generator for one of the adversarial trace shapes.
 //
 // Usage:
 //
 //	iogen -pattern strided -total 64M -req 4K -stride 60K -procs 8
 //	iogen -pattern random -total 16M -req 64K -writefrac 0.5
+//	iogen -pattern hotspot -total 16M -req 16K -emit-trace hot.ptrt
+//	iogen -adversary appendstorm -procs 8 -events 256 -emit-trace storm.ptrt
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"pario/internal/machine"
 	"pario/internal/pio"
 	"pario/internal/sim"
+	"pario/internal/trace"
 	"pario/internal/workload"
 )
 
@@ -32,8 +38,27 @@ func main() {
 		procs     = flag.Int("procs", 4, "processes replaying the stream concurrently")
 		ionodes   = flag.Int("ionodes", 12, "Paragon I/O partition: 12, 16 or 64")
 		seed      = flag.Uint64("seed", 1, "generator seed")
+		emitTrace = flag.String("emit-trace", "", "write the workload as a trace file instead of replaying")
+		adversary = flag.String("adversary", "", "adversarial generator: "+strings.Join(trace.Adversaries, " | "))
+		events    = flag.Int("events", 128, "per-rank event count for -adversary")
+		compute   = flag.Float64("compute", 100e-6, "per-event compute gap in seconds for -emit-trace")
 	)
 	flag.Parse()
+
+	if *adversary != "" {
+		if *emitTrace == "" {
+			fmt.Fprintf(os.Stderr, "iogen: -adversary needs -emit-trace FILE\n")
+			os.Exit(2)
+		}
+		t := trace.Generate(*adversary, *procs, *events, *seed)
+		if t == nil {
+			fmt.Fprintf(os.Stderr, "iogen: unknown adversary %q (%s)\n",
+				*adversary, strings.Join(trace.Adversaries, " | "))
+			os.Exit(2)
+		}
+		writeTrace(*emitTrace, t)
+		return
+	}
 
 	pat, ok := map[string]workload.Pattern{
 		"sequential": workload.Sequential,
@@ -52,6 +77,15 @@ func main() {
 		Stride:       parseSize(*stride),
 		WriteFrac:    *writeFrac,
 		Seed:         *seed,
+	}
+	if *emitTrace != "" {
+		t, err := spec.Trace(*procs, *compute)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iogen: %v\n", err)
+			os.Exit(1)
+		}
+		writeTrace(*emitTrace, t)
+		return
 	}
 	reqs, err := spec.Requests()
 	if err != nil {
@@ -78,6 +112,17 @@ func main() {
 	}
 }
 
+// writeTrace writes t's canonical text encoding and reports the content
+// hash a server would register the upload under.
+func writeTrace(path string, t *trace.Trace) {
+	if err := os.WriteFile(path, t.EncodeText(), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "iogen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d ranks, %d events, %d bytes of I/O\ntrace:%s\n",
+		path, len(t.Ranks), t.Events(), t.Bytes(), t.Hash())
+}
+
 // replay runs the request stream on each of procs ranks (each rank has a
 // private copy of the stream in its own file).
 func replay(cfg *machine.Config, iface pio.ClientParams, procs int, reqs []workload.Request) (core.Report, error) {
@@ -101,22 +146,13 @@ func replay(cfg *machine.Config, iface pio.ClientParams, procs int, reqs []workl
 	return sys.MakeReport(wall), nil
 }
 
-// parseSize parses 64, 64K, 4M, 1G.
+// parseSize parses 64, 64K, 4M, 1G via the shared hardened parser;
+// malformed, negative and overflowing sizes exit 2 with a clear message.
 func parseSize(s string) int64 {
-	s = strings.TrimSpace(strings.ToUpper(s))
-	mult := int64(1)
-	switch {
-	case strings.HasSuffix(s, "G"):
-		mult, s = 1<<30, s[:len(s)-1]
-	case strings.HasSuffix(s, "M"):
-		mult, s = 1<<20, s[:len(s)-1]
-	case strings.HasSuffix(s, "K"):
-		mult, s = 1<<10, s[:len(s)-1]
-	}
-	v, err := strconv.ParseInt(s, 10, 64)
+	v, err := workload.ParseSize(s)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "iogen: bad size %q\n", s)
+		fmt.Fprintf(os.Stderr, "iogen: %v\n", err)
 		os.Exit(2)
 	}
-	return v * mult
+	return v
 }

@@ -12,6 +12,7 @@
 //	iosim -app fft -procs 8 -json        # the pariod wire encoding
 //	iosim -app ast -procs 16 -faults "disk:0:degrade=8@t=0.5s..2s;retry=4"
 //	iosim -app btio -procs 64 -opt -estimate   # analytic roofline, no simulation
+//	iosim -trace fft.ptrt -version passion -opt   # replay a captured trace file
 //
 // -json emits the exact request/report encoding the pariod service serves
 // (one shared codec in internal/serve), so CLI and server outputs are
@@ -31,6 +32,7 @@ import (
 
 	"pario/internal/core"
 	"pario/internal/serve"
+	"pario/internal/trace"
 )
 
 func main() {
@@ -47,6 +49,7 @@ func main() {
 		jsonFlag = flag.Bool("json", false, "emit the pariod service's JSON encoding instead of the text report")
 		estimate = flag.Bool("estimate", false, "answer the analytic roofline estimate instead of simulating")
 		simPar   = flag.Int("sim-parallel", 1, "intra-run event-execution lanes to request (1 = sequential)")
+		traceIn  = flag.String("trace", "", "replay a trace file (app becomes \"trace\"; -version picks fortran | passion | native)")
 	)
 	flag.Parse()
 	core.SetDefaultParallel(*simPar)
@@ -55,7 +58,24 @@ func main() {
 		os.Exit(runEstimate(*app, *procs, *ionodes, *opt, *input, *version, *cached, *class, *faults, *jsonFlag))
 	}
 
-	req, rep, err := run(*app, *procs, *ionodes, *opt, *input, *version, *cached, *class, *faults)
+	var req serve.Request
+	var rep core.Report
+	var err error
+	if *traceIn != "" {
+		versionSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "version" {
+				versionSet = true
+			}
+		})
+		v := ""
+		if versionSet {
+			v = *version
+		}
+		req, rep, err = runTrace(*traceIn, v, *ionodes, *opt, *faults)
+	} else {
+		req, rep, err = run(*app, *procs, *ionodes, *opt, *input, *version, *cached, *class, *faults)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iosim: %v (%s)\n", err, core.ErrorClass(err))
 		os.Exit(1)
@@ -129,6 +149,40 @@ func runEstimate(app string, procs, ionodes int, opt bool, input, version string
 		fmt.Printf("  %-12s %10.2f s  %s%s\n", ph.Name, ph.ElapsedSec, ph.Bound, over)
 	}
 	return 0
+}
+
+// runTrace loads a trace file and replays it through the service's shared
+// trace path — the same canonicalized request and execution pariod serves
+// for an uploaded copy of the file, so the reports are byte-identical.
+// version empty defers to the trace's own interface hint (native when the
+// hint is absent or names no replayable client).
+func runTrace(path, version string, ionodes int, opt bool, faults string) (serve.Request, core.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return serve.Request{}, core.Report{}, err
+	}
+	t, err := trace.Decode(data)
+	if err != nil {
+		return serve.Request{}, core.Report{}, err
+	}
+	if version == "" {
+		switch t.Iface {
+		case "fortran", "passion", "native":
+			version = t.Iface
+		}
+	}
+	req, err := serve.Canonicalize(serve.Request{
+		App: "trace", Trace: t.Hash(), IONodes: ionodes, Opt: opt,
+		Version: version, Faults: faults,
+	})
+	if err != nil {
+		return serve.Request{}, core.Report{}, err
+	}
+	rep, err := serve.ExecuteTrace(context.Background(), req, 0, t)
+	if err != nil {
+		return serve.Request{}, core.Report{}, err
+	}
+	return req, rep, nil
 }
 
 // run canonicalizes the flag tuple into a serve.Request and executes it

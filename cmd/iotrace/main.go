@@ -6,6 +6,7 @@
 //
 //	iotrace -app scf11 -procs 4 -input LARGE -version passion
 //	iotrace -app btio -procs 16 -opt
+//	iotrace -app fft -procs 4 -capture fft.ptrt
 package main
 
 import (
@@ -29,13 +30,30 @@ func main() {
 		input   = flag.String("input", "MEDIUM", "scf input: SMALL | MEDIUM | LARGE")
 		version = flag.String("version", "original", "scf11: original | passion | prefetch")
 		opt     = flag.Bool("opt", false, "apply the application's optimization")
+		capture = flag.String("capture", "", "also write the run's captured I/O trace to FILE")
 	)
 	flag.Parse()
 
+	if *capture != "" {
+		core.SetDefaultCapture(true)
+	}
 	rep, err := runApp(*app, *procs, *input, *version, *opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "iotrace: %v\n", err)
 		os.Exit(1)
+	}
+	if *capture != "" {
+		t := trace.FromCaptured(rep.Captured, captureIface(*app, *version), strings.ToLower(*app))
+		if err := t.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "iotrace: captured trace: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*capture, t.EncodeText(), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "iotrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("captured %d events across %d ranks to %s\ntrace:%s\n\n",
+			t.Events(), len(t.Ranks), *capture, t.Hash())
 	}
 	fmt.Printf("%s, %d processes — aggregated I/O operation summary\n", rep.Machine, rep.Procs)
 	fmt.Printf("(percentages against exec time aggregated across processes, as in the paper)\n\n")
@@ -49,6 +67,21 @@ func main() {
 			fmt.Println(rep.Trace.HistogramString(op))
 		}
 	}
+}
+
+// captureIface picks the trace's replay-interface hint from the app's own
+// interface: SCF's original deck is Fortran-style, its optimized versions
+// PASSION-style; everything else maps onto the native client.
+func captureIface(app, version string) string {
+	if strings.ToLower(app) == "scf11" {
+		switch strings.ToLower(version) {
+		case "passion", "prefetch":
+			return "passion"
+		default:
+			return "fortran"
+		}
+	}
+	return "native"
 }
 
 func runApp(app string, procs int, input, version string, opt bool) (core.Report, error) {

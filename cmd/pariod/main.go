@@ -24,6 +24,11 @@
 //	GET  /sweep    ?app=fft&procs=1,2,4,8&ionodes=1..16&opt=both   (ranges expand
 //	               server-side; results stream back as NDJSON, one line per point,
 //	               on a lower-priority batch lane; ?format=sse for event streams)
+//	POST /trace    (body: a trace file, text or binary encoding) registers the
+//	               trace and answers its content hash; replay it with
+//	               {"app":"trace","trace":"<hash>"} on /run or /sweep, or inline
+//	               the upload as base64 "trace_data" on the run request itself
+//	GET  /trace    ?trace=<hash> returns the registered trace's text encoding
 //	GET  /healthz
 //	GET  /metrics
 //
@@ -112,6 +117,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		maxPoints  = fs.Int("max-sweep-points", 4096, "largest expanded grid one /sweep may name")
 		maxSweeps  = fs.Int("max-sweeps", 4, "concurrently streaming sweeps; excess sweeps answer 429")
 		maxPar     = fs.Int("max-parallel", 1, "widest intra-run event parallelism one run may use (1 = sequential)")
+		traceStore = fs.Int64("trace-store-bytes", 256<<20, "uploaded-trace registry bound in canonical-encoding bytes (LRU)")
+		traceMax   = fs.Int64("trace-max-bytes", 32<<20, "largest single trace upload accepted")
 		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 		drain      = fs.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
 	)
@@ -167,6 +174,8 @@ func run(args []string, stdout, stderr io.Writer, ready chan<- string, stop <-ch
 		MaxSweepPoints:  *maxPoints,
 		MaxSweeps:       *maxSweeps,
 		MaxParallel:     *maxPar,
+		TraceStoreBytes: *traceStore,
+		TraceMaxBytes:   *traceMax,
 	})
 	bound, err := srv.Start(*addr)
 	if err != nil {

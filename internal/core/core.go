@@ -13,6 +13,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"pario/internal/disk"
 	"pario/internal/fault"
@@ -65,6 +66,23 @@ func SetDefaultParallel(n int) {
 // DefaultParallel returns the process-wide intra-run parallelism default.
 func DefaultParallel() int { return defaultParallel }
 
+// defaultCapture is the process-wide per-operation capture switch — the
+// knob behind -capture / -emit-trace flags, mirroring defaultParallel.
+// When on, every rank recorder of a newly built system logs its data
+// operations with offsets, and MakeReport fills Report.Captured. Atomic
+// because the experiment harness toggles it around an app run while
+// sibling artifacts execute concurrently; capture never alters simulation
+// results, only what gets recorded, so a mid-flight flip is benign.
+var defaultCapture atomic.Bool
+
+// SetDefaultCapture switches per-operation I/O capture on newly built
+// systems. Capture is off by default: it costs an append per data call
+// and is only wanted when a trace is being emitted.
+func SetDefaultCapture(on bool) { defaultCapture.Store(on) }
+
+// DefaultCapture returns the process-wide capture default.
+func DefaultCapture() bool { return defaultCapture.Load() }
+
 // NewSystem builds a machine with procs application ranks.
 func NewSystem(cfg *machine.Config, procs int) (*System, error) {
 	if err := cfg.Validate(); err != nil {
@@ -94,8 +112,11 @@ func NewSystem(cfg *machine.Config, procs int) (*System, error) {
 		Cfg: cfg, Eng: eng, Topo: topo, Net: net, FS: fs, Comm: comm,
 		Procs: procs, parallel: defaultParallel,
 	}
+	capture := defaultCapture.Load()
 	for i := 0; i < procs; i++ {
-		s.Recorders = append(s.Recorders, trace.NewRecorder())
+		rec := trace.NewRecorder()
+		rec.SetCapture(capture)
+		s.Recorders = append(s.Recorders, rec)
 	}
 	return s, nil
 }
@@ -349,6 +370,11 @@ type Report struct {
 	// traffic and stalls, PFS request-size histograms, I/O-library
 	// discipline counts. Nil only for zero-value Reports.
 	Stats *stats.Snapshot
+
+	// Captured is each rank's per-operation I/O log, present only when the
+	// run's recorders were capturing (SetDefaultCapture). Feed it to
+	// trace.FromCaptured to emit a replayable trace.
+	Captured [][]trace.CapturedOp
 }
 
 // EventCount returns the engine event count; it satisfies the experiment
@@ -460,5 +486,11 @@ func (s *System) MakeReport(execSec float64) Report {
 	}
 	rep.Parallel = s.parallel
 	rep.EffectiveParallel, rep.ParallelFallback = s.parallelPolicy()
+	if len(s.Recorders) > 0 && s.Recorders[0].Capturing() {
+		rep.Captured = make([][]trace.CapturedOp, len(s.Recorders))
+		for i, rec := range s.Recorders {
+			rep.Captured[i] = rec.Captured()
+		}
+	}
 	return rep
 }

@@ -193,31 +193,50 @@ func (c *Cache) quarantine(key string) {
 // Get returns the cached body for key, marking it most recently used. A
 // file whose integrity check fails is quarantined and reported as a miss.
 // Callers must not mutate the returned slice.
+//
+// The file read happens outside the cache lock: entry files are immutable
+// once renamed into place, so concurrent readers of one key are safe, and
+// a slow disk no longer serializes every other cache operation behind it.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	if !validKey(key) {
 		return nil, false
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.m[key]
+	_, ok := c.m[key]
 	if c.closed || !ok {
 		c.misses++
+		c.mu.Unlock()
 		return nil, false
 	}
+	c.mu.Unlock()
+
 	body, err := c.readVerify(key)
+	if err == nil {
+		// Best-effort recency persistence: the next Open's mtime scan keeps
+		// this entry warm. Failure only costs restart ordering.
+		now := time.Now()
+		_ = os.Chtimes(filepath.Join(c.dir, key), now, now)
+	}
+
+	// Re-acquire and re-look the entry up: it may have been evicted (and
+	// its file removed) while we read. Only an entry the index still
+	// believes in gets dropped and quarantined on a failed verify — an
+	// already-evicted key's ENOENT is just a miss.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
 	if err != nil {
-		// The index believed in this entry; the disk disagreed. Drop both.
-		c.dropLocked(el)
-		c.quarantine(key)
+		if ok {
+			c.dropLocked(el)
+			c.quarantine(key)
+		}
 		c.misses++
 		return nil, false
 	}
 	c.hits++
-	c.ll.MoveToFront(el)
-	// Best-effort recency persistence: the next Open's mtime scan keeps
-	// this entry warm. Failure only costs restart ordering.
-	now := time.Now()
-	_ = os.Chtimes(filepath.Join(c.dir, key), now, now)
+	if ok {
+		c.ll.MoveToFront(el)
+	}
 	return body, true
 }
 
@@ -235,6 +254,11 @@ func (c *Cache) Put(key string, body []byte) error {
 	}
 	if el, ok := c.m[key]; ok {
 		c.ll.MoveToFront(el)
+		// Persist the recency bump: without it a re-put entry keeps its
+		// original mtime, and the next Open's scan would rank it coldest —
+		// first to evict — despite being among the most recently used.
+		now := time.Now()
+		_ = os.Chtimes(filepath.Join(c.dir, key), now, now)
 		return nil
 	}
 	size, err := c.writeAtomic(key, body)

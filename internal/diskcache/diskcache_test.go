@@ -375,3 +375,98 @@ func flipLastByte(t *testing.T, path string) {
 		t.Fatal(err)
 	}
 }
+
+// TestRePutRefreshesRestartRecency pins the re-put mtime bump: a key
+// re-put (its content is already on disk; only recency moves) must also
+// move the file's mtime, or the next Open's scan ranks it coldest and a
+// restart evicts the most recently used entry first.
+func TestRePutRefreshesRestartRecency(t *testing.T) {
+	dir := t.TempDir()
+	entrySize := int64(headerLen + 100)
+	c, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := bytes.Repeat([]byte("x"), 100)
+	for i := 0; i < 2; i++ {
+		if err := c.Put(key(i), body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Backdate both files well apart, then re-put entry 0: it is now the
+	// warmest, and its file must say so.
+	for i, age := range []time.Duration{2 * time.Hour, time.Hour} {
+		old := time.Now().Add(-age)
+		if err := os.Chtimes(filepath.Join(dir, key(i)), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Put(key(0), body); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	// Reopen with room for one entry: the restart scan must keep the
+	// re-put entry and evict the genuinely colder one.
+	c2, err := Open(dir, entrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c2.Get(key(0)); !ok {
+		t.Fatal("re-put entry evicted on reopen: its recency bump was not persisted")
+	}
+	if _, ok := c2.Get(key(1)); ok {
+		t.Fatal("cold entry survived reopen eviction")
+	}
+}
+
+// TestConcurrentSameKeyGets hammers one hot key from many readers while a
+// writer re-puts it and other keys churn the eviction path — the shape the
+// lock-narrowed Get must survive under -race, with every hit serving the
+// exact stored bytes.
+func TestConcurrentSameKeyGets(t *testing.T) {
+	dir := t.TempDir()
+	entrySize := int64(headerLen + 64)
+	c, err := Open(dir, 4*entrySize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := bytes.Repeat([]byte("h"), 64)
+	cold := bytes.Repeat([]byte("c"), 64)
+	if err := c.Put(key(0), hot); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if body, ok := c.Get(key(0)); ok && !bytes.Equal(body, hot) {
+					t.Errorf("hot key served %q", body)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			// Churn: re-put the hot key and push colder keys through the
+			// eviction path so readers race real evictions, not just hits.
+			if err := c.Put(key(0), hot); err != nil {
+				t.Errorf("re-put: %v", err)
+				return
+			}
+			if err := c.Put(key(1+i%8), cold); err != nil {
+				t.Errorf("churn put: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if body, ok := c.Get(key(0)); !ok || !bytes.Equal(body, hot) {
+		t.Fatalf("hot key after hammer = %q, %v", body, ok)
+	}
+}

@@ -51,7 +51,7 @@ func (h *Handle) Await(p *sim.Proc, ar *AsyncRead) {
 		p.Delay(ct)
 	}
 	h.pos = ar.off + ar.n
-	h.c.rec.Record(trace.Read, p.Now()-start, ar.n)
+	h.c.rec.RecordAt(trace.Read, start, p.Now()-start, ar.off, ar.n)
 }
 
 // Prefetcher drives a sequential read stream through ReadAsync with a

@@ -164,7 +164,7 @@ func (h *Handle) ReadAt(p *sim.Proc, off, n int64) {
 	}
 	h.f.Transfer(p, h.c.node, off, n, false)
 	h.pos = off + n
-	h.c.rec.Record(trace.Read, p.Now()-start, n)
+	h.c.rec.RecordAt(trace.Read, start, p.Now()-start, off, n)
 }
 
 // Read reads n bytes at the current position.
@@ -180,7 +180,7 @@ func (h *Handle) WriteAt(p *sim.Proc, off, n int64) {
 	}
 	h.f.Transfer(p, h.c.node, off, n, true)
 	h.pos = off + n
-	h.c.rec.Record(trace.Write, p.Now()-start, n)
+	h.c.rec.RecordAt(trace.Write, start, p.Now()-start, off, n)
 }
 
 // Write writes n bytes at the current position.

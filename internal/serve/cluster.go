@@ -3,6 +3,7 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -86,6 +87,16 @@ func (s *Server) clusterOf() *cluster.Ring {
 // response. Transport failures and 502/503 answers come back wrapped in
 // errPeerUnavailable.
 func (s *Server) fetchFromOwner(ctx context.Context, owner cluster.Node, canon Request, timeout time.Duration, ln Lane) (*http.Response, error) {
+	if canon.App == "trace" {
+		// Forward the trace bytes alongside the hash: the owner may never
+		// have seen this upload. TraceData is transport, not identity — the
+		// owner registers it and canonicalizes back to the same key. If we
+		// don't hold the trace either, forward hash-only and let the owner
+		// answer from its own store (or 404).
+		if t, ok := s.traces.Get(canon.Trace); ok {
+			canon.TraceData = base64.StdEncoding.EncodeToString(t.EncodeBinary())
+		}
+	}
 	b, err := json.Marshal(canon)
 	if err != nil {
 		return nil, err

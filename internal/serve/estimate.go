@@ -35,6 +35,12 @@ func rooflineInput(r Request) roofline.Input {
 // fault plans are outside the model's domain and are refused with an error
 // classified estimate_unsupported (HTTP 422 at the handler).
 func EstimateFor(canon Request) (*roofline.Estimate, error) {
+	if canon.App == "trace" {
+		// A trace replay's cost lives in the event log, not in closed-form
+		// app parameters; the roofline model has no analytic shape for it.
+		return nil, core.Classify("estimate_unsupported",
+			fmt.Errorf("serve: estimate mode does not model trace replays"))
+	}
 	est, err := roofline.EstimateRequest(rooflineInput(canon))
 	if err != nil {
 		if errors.Is(err, roofline.ErrUnsupported) {

@@ -8,9 +8,11 @@ import (
 	"pario/internal/apps/btio"
 	"pario/internal/apps/fft"
 	"pario/internal/apps/scf"
+	"pario/internal/apps/tracerun"
 	"pario/internal/core"
 	"pario/internal/fault"
 	"pario/internal/machine"
+	"pario/internal/trace"
 )
 
 // Execute runs the simulation a canonicalized request names and returns its
@@ -88,9 +90,38 @@ func ExecuteParallel(ctx context.Context, req Request, parallel int) (core.Repor
 			return core.Report{}, err
 		}
 		return ast.Run(ast.Config{Ctx: ctx, Faults: pl, Machine: m, Procs: req.Procs, Optimized: req.Opt, Parallel: parallel})
+	case "trace":
+		// The request names the trace only by hash; resolving the bytes
+		// needs a store (the daemon's upload registry, or a file loaded by
+		// iosim -trace) — callers with the trace in hand use ExecuteTrace.
+		return core.Report{}, core.Classify("trace_unknown",
+			fmt.Errorf("serve: trace %s is not available here", req.Trace))
 	default:
 		return core.Report{}, fmt.Errorf("serve: unknown app %q", req.App)
 	}
+}
+
+// ExecuteTrace runs a canonicalized app-"trace" request against a resolved
+// trace: the replay machine is the large Paragon with the request's I/O
+// partition, the interface is req.Version, and req.Opt selects the
+// prefetch-overlap replay. The caller is responsible for tr matching
+// req.Trace — the daemon resolves it from its upload store by hash.
+func ExecuteTrace(ctx context.Context, req Request, parallel int, tr *trace.Trace) (core.Report, error) {
+	var pl *fault.Plan
+	if req.Faults != "" {
+		var err error
+		if pl, err = fault.Parse(req.Faults); err != nil {
+			return core.Report{}, err
+		}
+	}
+	m, err := machine.ParagonLarge(req.IONodes)
+	if err != nil {
+		return core.Report{}, err
+	}
+	return tracerun.Run(tracerun.Config{
+		Ctx: ctx, Faults: pl, Machine: m, Trace: tr,
+		Interface: req.Version, Opt: req.Opt, Parallel: parallel,
+	})
 }
 
 // scfInput maps a canonical input name to the deck; Canonicalize has

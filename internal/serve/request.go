@@ -51,6 +51,38 @@ type Request struct {
 	// a healthy run. The plan is canonicalized into the cache key, so a
 	// degraded run can never alias a healthy one.
 	Faults string `json:"faults,omitempty"`
+	// Trace is the content hash (hex SHA-256 of the canonical binary
+	// encoding, as POST /trace reports) of the trace to replay; required
+	// by — and only meaningful for — app "trace". The hash is the run's
+	// workload identity: it is canonicalized into the cache key, so a
+	// trace replay caches exactly like any other app.
+	Trace string `json:"trace,omitempty"`
+	// TraceData optionally inlines the trace itself, base64-encoded
+	// (either encoding): the daemon registers it before canonicalizing,
+	// exactly as a prior POST /trace would have. It is transport, not
+	// identity — always cleared from the canonical form, never part of
+	// the key — and it is how cluster peers forward trace runs to owners
+	// that have not seen the upload.
+	TraceData string `json:"trace_data,omitempty"`
+}
+
+// traceIfaces is the replay-interface vocabulary of app "trace", carried
+// in the Version field like scf11's version.
+var traceIfaces = map[string]bool{"fortran": true, "passion": true, "native": true}
+
+// isTraceHash reports whether s looks like a trace content hash: exactly
+// 64 lower-hex characters.
+func isTraceHash(s string) bool {
+	if len(s) != 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }
 
 // scf11Versions is the request-level version vocabulary. Opt folds into
@@ -148,8 +180,31 @@ func Canonicalize(req Request) (Request, error) {
 			return Request{}, err
 		}
 		c.Opt = req.Opt
+	case "trace":
+		// The trace itself fixes the rank count; Procs is cleared so
+		// every spelling of a replay shares one key. TraceData is
+		// transport (see the field) and never reaches the canonical form.
+		c.Procs = 0
+		c.IONodes = nio(12)
+		if _, err := machine.ParagonLarge(c.IONodes); err != nil {
+			return Request{}, err
+		}
+		h := strings.ToLower(strings.TrimSpace(req.Trace))
+		if !isTraceHash(h) {
+			return Request{}, fmt.Errorf("serve: app trace needs trace=<sha256> (64 hex chars), got %q", req.Trace)
+		}
+		c.Trace = h
+		v := strings.ToLower(strings.TrimSpace(req.Version))
+		if v == "" {
+			v = "native"
+		}
+		if !traceIfaces[v] {
+			return Request{}, fmt.Errorf("serve: unknown trace interface %q (fortran|passion|native)", req.Version)
+		}
+		c.Version = v
+		c.Opt = req.Opt
 	default:
-		return Request{}, fmt.Errorf("serve: unknown app %q (scf11|scf30|fft|btio|ast)", req.App)
+		return Request{}, fmt.Errorf("serve: unknown app %q (scf11|scf30|fft|btio|ast|trace)", req.App)
 	}
 	if req.Faults != "" {
 		pl, err := fault.Parse(req.Faults)

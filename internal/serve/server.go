@@ -69,6 +69,12 @@ type Options struct {
 	// the service is lightly loaded; batch (sweep) points always run
 	// sequentially — their throughput comes from cross-point workers.
 	MaxParallel int
+	// TraceStoreBytes bounds the uploaded-trace registry by total
+	// canonical-encoding bytes, LRU-evicted (default 256 MB).
+	TraceStoreBytes int64
+	// TraceMaxBytes bounds one trace upload — POST /trace body or an
+	// inline trace_data payload, pre-decode (default 32 MB).
+	TraceMaxBytes int64
 }
 
 func (o *Options) defaults() {
@@ -96,6 +102,12 @@ func (o *Options) defaults() {
 	if o.MaxParallel <= 0 {
 		o.MaxParallel = 1
 	}
+	if o.TraceStoreBytes <= 0 {
+		o.TraceStoreBytes = 256 << 20
+	}
+	if o.TraceMaxBytes <= 0 {
+		o.TraceMaxBytes = 32 << 20
+	}
 }
 
 // Server is the simulation-serving daemon core: HTTP handlers over the
@@ -106,6 +118,7 @@ type Server struct {
 	opts   Options
 	cache  *Cache
 	l2     *diskcache.Cache
+	traces *TraceStore
 	flight flightGroup
 	sched  *Scheduler
 	mux    *http.ServeMux
@@ -161,6 +174,12 @@ type Server struct {
 	// l2PutErrs counts disk-cache write failures: the response was still
 	// served (and L1-cached), only persistence was lost.
 	l2PutErrs atomic.Int64
+
+	// Trace counters: uploads accepted (POST /trace and inline
+	// trace_data, re-uploads included) and replay attempts refused
+	// because the named hash is not in this node's store.
+	traceUploads atomic.Int64
+	traceUnknown atomic.Int64
 
 	// Work counters: what actually simulated. The cached path must leave
 	// runs untouched — that is the "never re-simulates" invariant the
@@ -225,15 +244,20 @@ func New(opts Options) *Server {
 		opts:          opts,
 		cache:         NewCacheBytes(opts.CacheEntries, opts.CacheBytes),
 		l2:            opts.L2,
+		traces:        NewTraceStore(opts.TraceStoreBytes),
 		sched:         NewScheduler(opts.Workers, opts.QueueDepth, opts.BatchQueueDepth),
-		run:           ExecuteParallel,
 		peerTransport: &http.Transport{MaxIdleConnsPerHost: 16},
 		started:       time.Now(),
 	}
+	// The production seam resolves app-"trace" requests against the upload
+	// store; everything else goes straight to ExecuteParallel. Tests still
+	// replace s.run wholesale.
+	s.run = s.executeRun
 	s.SetCluster(opts.Cluster)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/run", s.handleRun)
 	s.mux.HandleFunc("/sweep", s.handleSweep)
+	s.mux.HandleFunc("/trace", s.handleTrace)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	return s
@@ -409,6 +433,7 @@ func decodeRequest(r *http.Request) (Request, time.Duration, error) {
 		req.Version = q.Get("version")
 		req.Class = q.Get("class")
 		req.Faults = q.Get("faults")
+		req.Trace = q.Get("trace")
 		for name, dst := range map[string]*int{
 			"procs": &req.Procs, "ionodes": &req.IONodes, "cached_pct": &req.CachedPct,
 		} {
@@ -451,6 +476,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	estimate, err := parseMode(r.URL.Query().Get("mode"))
 	if err != nil {
+		s.badReq.Add(1)
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.registerInlineTrace(&req); err != nil {
 		s.badReq.Add(1)
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -512,6 +542,21 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 // the batch lane — forwarded sweep points — blocks for admission exactly as
 // local sweep points do, with the timeout clocked from simulation start.
 func (s *Server) localRun(w http.ResponseWriter, r *http.Request, canon Request, key string, timeout time.Duration, ln Lane) {
+	// Resolve a trace replay's workload before admission: a hash this node
+	// has never seen is a guaranteed failure, and answering it up front
+	// keeps the 404 off the scheduler and out of the run accounting.
+	// executeRun re-resolves under the same store, backstopping the rare
+	// evicted-between-check-and-run race.
+	if canon.App == "trace" {
+		if _, ok := s.traces.Get(canon.Trace); !ok {
+			s.traceUnknown.Add(1)
+			s.failed.Add(1)
+			s.countErrClass("trace_unknown")
+			writeErrJSON(w, http.StatusNotFound, "trace_unknown",
+				fmt.Errorf("serve: trace %s has not been uploaded to this node", canon.Trace))
+			return
+		}
+	}
 	ctx := r.Context()
 	untrack := s.trackPending()
 	var body []byte
@@ -557,7 +602,13 @@ func (s *Server) localRun(w http.ResponseWriter, r *http.Request, canon Request,
 		s.failed.Add(1)
 		class := core.ErrorClass(err)
 		s.countErrClass(class)
-		writeErrJSON(w, http.StatusInternalServerError, class, err)
+		status := http.StatusInternalServerError
+		if class == "trace_unknown" {
+			// The named trace is simply not in this node's store — a
+			// client-addressable miss, not a simulation failure.
+			status = http.StatusNotFound
+		}
+		writeErrJSON(w, status, class, err)
 	}
 }
 
@@ -796,6 +847,15 @@ type Metrics struct {
 	EstimateLatencySecTotal float64 `json:"estimate_latency_sec_total"`
 	EstimateLatencyMeanSec  float64 `json:"estimate_latency_mean_sec"`
 
+	// Trace-store gauges and counters: registered traces and their total
+	// canonical-encoding bytes, uploads accepted (POST /trace plus inline
+	// trace_data, re-uploads included), and replays refused because the
+	// named hash is not registered here.
+	TraceStoreEntries int   `json:"trace_store_entries"`
+	TraceStoreBytes   int64 `json:"trace_store_bytes"`
+	TraceUploadsTotal int64 `json:"trace_uploads_total"`
+	TraceUnknownTotal int64 `json:"trace_unknown_total"`
+
 	// RunMeanSec is the moving average of recent run durations (real time)
 	// that sizes Retry-After on 429 responses; 0 until a run completes.
 	RunMeanSec float64 `json:"run_mean_sec"`
@@ -852,6 +912,11 @@ func (s *Server) MetricsSnapshot() Metrics {
 		RunEventsTotal:  s.runEvents.Load(),
 		RunWallSecTotal: time.Duration(s.runWallNs.Load()).Seconds(),
 		RunMeanSec:      time.Duration(s.runDurEWMA.Load()).Seconds(),
+
+		TraceStoreEntries: s.traces.Len(),
+		TraceStoreBytes:   s.traces.Bytes(),
+		TraceUploadsTotal: s.traceUploads.Load(),
+		TraceUnknownTotal: s.traceUnknown.Load(),
 
 		SimParallelMax:           s.opts.MaxParallel,
 		SimParallelWideRunsTotal: s.parWideRuns.Load(),

@@ -44,6 +44,10 @@ type SweepSpec struct {
 	// Faults is a single fault-plan DSL string applied to every point
 	// (the DSL's own separators preclude a comma list).
 	Faults string `json:"faults,omitempty"`
+	// Trace is a single trace content hash applied to every point (app
+	// "trace" only): sweep the replay interface and opt dimensions over one
+	// uploaded workload. The trace must already be registered on the node.
+	Trace string `json:"trace,omitempty"`
 }
 
 // SweepPoint is one expanded, canonicalized, deduplicated grid point.
@@ -109,7 +113,7 @@ func ExpandSweep(spec SweepSpec, maxPoints int) (points []SweepPoint, skipped, d
 									req := Request{
 										App: app, Procs: p, IONodes: n, Opt: o,
 										Input: in, Version: v, CachedPct: cp, Class: cl,
-										Faults: spec.Faults,
+										Faults: spec.Faults, Trace: spec.Trace,
 									}
 									c, cerr := Canonicalize(req)
 									if cerr != nil {
@@ -288,6 +292,7 @@ func decodeSweep(r *http.Request) (spec SweepSpec, timeout time.Duration, sse, e
 			App: q.Get("app"), Procs: q.Get("procs"), IONodes: q.Get("ionodes"),
 			Opt: q.Get("opt"), Input: q.Get("input"), Version: q.Get("version"),
 			CachedPct: q.Get("cached_pct"), Class: q.Get("class"), Faults: q.Get("faults"),
+			Trace: q.Get("trace"),
 		}
 	default:
 		return SweepSpec{}, 0, false, false, fmt.Errorf("method %s not allowed", r.Method)

@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"pario/internal/trace"
+)
+
+// TraceStore is the daemon's upload registry: decoded traces addressed by
+// content hash, bounded by total canonical-encoding bytes with LRU
+// eviction. Uploading is idempotent — the same bytes always land on the
+// same hash — and the hash is what request canonicalization folds into
+// the cache key, so two uploads of one trace share every cached result.
+type TraceStore struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	m        map[string]*list.Element
+}
+
+type traceEntry struct {
+	hash string
+	t    *trace.Trace
+	size int64
+}
+
+// NewTraceStore returns a store bounded to maxBytes of canonical trace
+// encoding (<= 0 selects 256 MB).
+func NewTraceStore(maxBytes int64) *TraceStore {
+	if maxBytes <= 0 {
+		maxBytes = 256 << 20
+	}
+	return &TraceStore{maxBytes: maxBytes, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+// AddData decodes, validates and stores a trace in either encoding,
+// returning its content hash. Oversized traces — larger alone than the
+// whole store bound — are refused rather than thrashing the LRU.
+func (ts *TraceStore) AddData(data []byte) (string, *trace.Trace, error) {
+	t, err := trace.Decode(data)
+	if err != nil {
+		return "", nil, err
+	}
+	hash, err := ts.Add(t)
+	if err != nil {
+		return "", nil, err
+	}
+	return hash, t, nil
+}
+
+// Add stores an already-decoded trace and returns its content hash.
+func (ts *TraceStore) Add(t *trace.Trace) (string, error) {
+	if err := t.Validate(); err != nil {
+		return "", err
+	}
+	size := int64(len(t.EncodeBinary()))
+	if size > ts.maxBytes {
+		return "", fmt.Errorf("serve: trace of %d bytes exceeds the %d-byte store", size, ts.maxBytes)
+	}
+	hash := t.Hash()
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	if el, ok := ts.m[hash]; ok {
+		ts.ll.MoveToFront(el)
+		return hash, nil
+	}
+	ts.m[hash] = ts.ll.PushFront(&traceEntry{hash: hash, t: t, size: size})
+	ts.bytes += size
+	for ts.bytes > ts.maxBytes {
+		el := ts.ll.Back()
+		if el == nil {
+			break
+		}
+		ent := el.Value.(*traceEntry)
+		ts.ll.Remove(el)
+		delete(ts.m, ent.hash)
+		ts.bytes -= ent.size
+	}
+	return hash, nil
+}
+
+// Get returns the trace stored under hash, bumping its recency.
+func (ts *TraceStore) Get(hash string) (*trace.Trace, bool) {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	el, ok := ts.m[hash]
+	if !ok {
+		return nil, false
+	}
+	ts.ll.MoveToFront(el)
+	return el.Value.(*traceEntry).t, true
+}
+
+// Len returns the number of stored traces.
+func (ts *TraceStore) Len() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return len(ts.m)
+}
+
+// Bytes returns the stored traces' total canonical-encoding size.
+func (ts *TraceStore) Bytes() int64 {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.bytes
+}

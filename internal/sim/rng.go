@@ -34,6 +34,28 @@ func (r *RNG) Intn(n int) int {
 	return int(r.Uint64() % uint64(n))
 }
 
+// Uint64n returns an unbiased uniform draw in [0, n). n must be positive.
+// Unlike Intn's single modulo (kept as-is: its draws are pinned by golden
+// artifacts), this rejects the overhanging remainder range, so every value
+// is exactly equally likely.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with zero n")
+	}
+	if n&(n-1) == 0 { // power of two: mask is already unbiased
+		return r.Uint64() & (n - 1)
+	}
+	// Accept only [limit, 2^64): that span is an exact multiple of n
+	// long, so the modulo below hits every residue equally often.
+	limit := -n % n // == 2^64 mod n in uint64 arithmetic
+	for {
+		v := r.Uint64()
+		if v >= limit {
+			return v % n
+		}
+	}
+}
+
 // Exp returns an exponential draw with the given mean.
 func (r *RNG) Exp(mean float64) float64 {
 	u := r.Float64()

@@ -1,0 +1,31 @@
+package trace
+
+// CapturedOp is one offset-bearing operation logged by a capturing
+// Recorder: what FromCaptured turns into a replayable trace Event.
+type CapturedOp struct {
+	Op    Op
+	AtSec float64
+	Sec   float64
+	Off   int64
+	Bytes int64
+}
+
+// SetCapture switches per-operation capture on or off. Capture costs an
+// append per data operation, so it stays off unless a trace is wanted.
+func (r *Recorder) SetCapture(on bool) { r.capture = on }
+
+// Capturing reports whether per-operation capture is on.
+func (r *Recorder) Capturing() bool { return r.capture }
+
+// RecordAt adds one operation like Record, and — when capture is on and
+// the op is a data op — also logs it with its start time and offset.
+// atSec is the simulation time the operation was issued.
+func (r *Recorder) RecordAt(op Op, atSec, sec float64, off, bytes int64) {
+	r.Record(op, sec, bytes)
+	if r.capture && (op == Read || op == Write) {
+		r.captured = append(r.captured, CapturedOp{Op: op, AtSec: atSec, Sec: sec, Off: off, Bytes: bytes})
+	}
+}
+
+// Captured returns the operations logged so far, in issue order.
+func (r *Recorder) Captured() []CapturedOp { return r.captured }

@@ -1,0 +1,469 @@
+// Per-rank I/O trace format: the capture-and-replay half of the package
+// (the Recorder half aggregates; this half logs). A Trace is the compact,
+// replayable record of what an application's ranks asked of the I/O
+// system — per operation: direction, file offset, byte count, and the
+// compute gap that preceded it — in the capture tradition of Darshan and
+// SIOX (Kunkel et al., "Tools for Analyzing Parallel I/O").
+//
+// Two interchangeable encodings share one identity:
+//
+//   - Text ("PTRT1 ..."): line-oriented, diff-able, hand-editable.
+//   - Binary ("PTRB1\x00..."): varint-packed, the canonical byte form.
+//
+// Decode accepts either (sniffed by magic); Encode* always emit the
+// canonical rendering, so decode→encode normalizes any valid spelling.
+// Hash is the SHA-256 of the canonical binary encoding — the trace's
+// content address, stable across the two encodings and the one pariod
+// keys replay results by ("trace:<sha256>" in the request space).
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Format magics. The trailing version digit is the format version; bumping
+// it invalidates nothing retroactively (decoders reject unknown versions).
+const (
+	textMagic   = "PTRT1"
+	binaryMagic = "PTRB1\x00"
+)
+
+// Hard format bounds: a trace is an untrusted upload in the serving path,
+// so every decoder enforces them before allocating proportionally.
+const (
+	// MaxRanks bounds the per-rank streams one trace may carry.
+	MaxRanks = 4096
+	// MaxEvents bounds the total event count across all ranks.
+	MaxEvents = 1 << 22
+	// MaxOffset bounds Off+Bytes, keeping extents well inside int64
+	// arithmetic everywhere downstream (pfs layouts, stripe math).
+	MaxOffset = 1 << 50
+	// MaxGapSec bounds a single compute gap (a year of virtual time).
+	MaxGapSec = 3.2e7
+)
+
+// Event is one replayable I/O operation of a rank's stream.
+type Event struct {
+	// Write selects the direction (false = read).
+	Write bool
+	// Off is the file offset of the operation.
+	Off int64
+	// Bytes is the operation size.
+	Bytes int64
+	// GapSec is the compute time the rank spent before issuing this
+	// operation — the replay inserts it as a CPU delay, and an optimized
+	// replay overlaps the next read with it.
+	GapSec float64
+}
+
+// Trace is a captured or generated per-rank I/O log.
+type Trace struct {
+	// Iface is the interface hint: the pio cost model the trace was
+	// captured under ("fortran", "passion", "native", "unix"), or empty
+	// when unknown. Replay may honor or override it — the hint is
+	// metadata, not identity of the replay configuration.
+	Iface string
+	// Label is a free-form source tag ("fft", "iogen:random", ...).
+	Label string
+	// Ranks holds one event stream per rank, replayed concurrently.
+	Ranks [][]Event
+}
+
+// ifaceHints is the Iface vocabulary (empty string also allowed).
+var ifaceHints = map[string]bool{"fortran": true, "passion": true, "native": true, "unix": true}
+
+// ValidIface reports whether s is an acceptable interface hint.
+func ValidIface(s string) bool { return s == "" || ifaceHints[s] }
+
+// validLabel reports whether the label is safe for the text header: a
+// single space-free token of printable ASCII.
+func validLabel(s string) bool {
+	if len(s) > 128 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c > '~' || c == '=' {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the trace against the format bounds. A valid trace
+// encodes, decodes and replays without surprises.
+func (t *Trace) Validate() error {
+	if !ValidIface(t.Iface) {
+		return fmt.Errorf("trace: unknown interface hint %q", t.Iface)
+	}
+	if !validLabel(t.Label) {
+		return fmt.Errorf("trace: unusable label %q", t.Label)
+	}
+	if len(t.Ranks) == 0 {
+		return fmt.Errorf("trace: no ranks")
+	}
+	if len(t.Ranks) > MaxRanks {
+		return fmt.Errorf("trace: %d ranks exceeds %d", len(t.Ranks), MaxRanks)
+	}
+	total := 0
+	for r, evs := range t.Ranks {
+		total += len(evs)
+		if total > MaxEvents {
+			return fmt.Errorf("trace: more than %d events", MaxEvents)
+		}
+		for i, ev := range evs {
+			if ev.Off < 0 || ev.Bytes <= 0 || ev.Off > MaxOffset-ev.Bytes {
+				return fmt.Errorf("trace: rank %d event %d: bad extent off=%d bytes=%d", r, i, ev.Off, ev.Bytes)
+			}
+			if math.IsNaN(ev.GapSec) || ev.GapSec < 0 || ev.GapSec > MaxGapSec {
+				return fmt.Errorf("trace: rank %d event %d: bad gap %v", r, i, ev.GapSec)
+			}
+		}
+	}
+	return nil
+}
+
+// Events returns the total event count across ranks.
+func (t *Trace) Events() int {
+	n := 0
+	for _, evs := range t.Ranks {
+		n += len(evs)
+	}
+	return n
+}
+
+// Bytes returns the total data volume the trace moves.
+func (t *Trace) Bytes() int64 {
+	var n int64
+	for _, evs := range t.Ranks {
+		for _, ev := range evs {
+			n += ev.Bytes
+		}
+	}
+	return n
+}
+
+// MaxExtent returns the highest byte any rank's stream touches.
+func (t *Trace) MaxExtent() int64 {
+	var hi int64
+	for _, evs := range t.Ranks {
+		for _, ev := range evs {
+			if e := ev.Off + ev.Bytes; e > hi {
+				hi = e
+			}
+		}
+	}
+	return hi
+}
+
+// gapString renders a gap canonically: the shortest strconv form.
+func gapString(g float64) string { return strconv.FormatFloat(g, 'g', -1, 64) }
+
+// EncodeText renders the canonical text encoding:
+//
+//	PTRT1 ranks=2 iface=native label=fft
+//	rank 0 2
+//	r 0 65536 0
+//	w 65536 4096 0.000125
+//	rank 1 0
+//	end
+//
+// iface= and label= are omitted when empty. Call Validate first; an
+// invalid trace encodes garbage.
+func (t *Trace) EncodeText() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s ranks=%d", textMagic, len(t.Ranks))
+	if t.Iface != "" {
+		fmt.Fprintf(&b, " iface=%s", t.Iface)
+	}
+	if t.Label != "" {
+		fmt.Fprintf(&b, " label=%s", t.Label)
+	}
+	b.WriteByte('\n')
+	for r, evs := range t.Ranks {
+		fmt.Fprintf(&b, "rank %d %d\n", r, len(evs))
+		for _, ev := range evs {
+			op := byte('r')
+			if ev.Write {
+				op = 'w'
+			}
+			fmt.Fprintf(&b, "%c %d %d %s\n", op, ev.Off, ev.Bytes, gapString(ev.GapSec))
+		}
+	}
+	b.WriteString("end\n")
+	return b.Bytes()
+}
+
+// EncodeBinary renders the canonical binary encoding — the byte form Hash
+// is defined over.
+func (t *Trace) EncodeBinary() []byte {
+	var b bytes.Buffer
+	b.WriteString(binaryMagic)
+	var tmp [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		b.Write(tmp[:n])
+	}
+	putUvarint(uint64(len(t.Iface)))
+	b.WriteString(t.Iface)
+	putUvarint(uint64(len(t.Label)))
+	b.WriteString(t.Label)
+	putUvarint(uint64(len(t.Ranks)))
+	for _, evs := range t.Ranks {
+		putUvarint(uint64(len(evs)))
+		for _, ev := range evs {
+			flags := uint64(0)
+			if ev.Write {
+				flags = 1
+			}
+			putUvarint(flags)
+			putUvarint(uint64(ev.Off))
+			putUvarint(uint64(ev.Bytes))
+			var g [8]byte
+			binary.BigEndian.PutUint64(g[:], math.Float64bits(ev.GapSec))
+			b.Write(g[:])
+		}
+	}
+	return b.Bytes()
+}
+
+// Hash returns the trace's content address: the hex SHA-256 of its
+// canonical binary encoding, identical whichever encoding the trace
+// arrived in.
+func (t *Trace) Hash() string {
+	sum := sha256.Sum256(t.EncodeBinary())
+	return hex.EncodeToString(sum[:])
+}
+
+// Decode sniffs the encoding by magic and decodes either form. The result
+// is validated: Decode never returns a trace that Validate rejects.
+func Decode(data []byte) (*Trace, error) {
+	switch {
+	case bytes.HasPrefix(data, []byte(binaryMagic)):
+		return decodeBinary(data)
+	case bytes.HasPrefix(data, []byte(textMagic)):
+		return decodeText(data)
+	default:
+		return nil, fmt.Errorf("trace: unrecognized encoding (want %q or %q header)", textMagic, binaryMagic)
+	}
+}
+
+func decodeText(data []byte) (*Trace, error) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 64<<10), 64<<10)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	fields := strings.Fields(sc.Text())
+	if len(fields) < 2 || fields[0] != textMagic {
+		return nil, fmt.Errorf("trace: bad header %q", sc.Text())
+	}
+	t := &Trace{}
+	ranks := -1
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return nil, fmt.Errorf("trace: bad header field %q", f)
+		}
+		switch k {
+		case "ranks":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 1 || n > MaxRanks {
+				return nil, fmt.Errorf("trace: bad ranks %q", v)
+			}
+			ranks = n
+		case "iface":
+			t.Iface = v
+		case "label":
+			t.Label = v
+		default:
+			return nil, fmt.Errorf("trace: unknown header field %q", k)
+		}
+	}
+	if ranks < 0 {
+		return nil, fmt.Errorf("trace: header missing ranks=")
+	}
+	t.Ranks = make([][]Event, ranks)
+	rank, remaining, total := -1, 0, 0
+	sawEnd := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if sawEnd {
+			return nil, fmt.Errorf("trace: content after end")
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "rank":
+			if remaining != 0 {
+				return nil, fmt.Errorf("trace: rank %d short by %d events", rank, remaining)
+			}
+			if len(f) != 3 {
+				return nil, fmt.Errorf("trace: bad rank line %q", line)
+			}
+			r, err1 := strconv.Atoi(f[1])
+			n, err2 := strconv.Atoi(f[2])
+			if err1 != nil || err2 != nil || r != rank+1 || r >= ranks || n < 0 || total+n > MaxEvents {
+				return nil, fmt.Errorf("trace: bad rank line %q", line)
+			}
+			rank, remaining = r, n
+			total += n
+			t.Ranks[r] = make([]Event, 0, n)
+		case "r", "w":
+			if rank < 0 || remaining == 0 {
+				return nil, fmt.Errorf("trace: stray event line %q", line)
+			}
+			if len(f) != 4 {
+				return nil, fmt.Errorf("trace: bad event line %q", line)
+			}
+			off, err1 := strconv.ParseInt(f[1], 10, 64)
+			n, err2 := strconv.ParseInt(f[2], 10, 64)
+			gap, err3 := strconv.ParseFloat(f[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("trace: bad event line %q", line)
+			}
+			t.Ranks[rank] = append(t.Ranks[rank], Event{Write: f[0] == "w", Off: off, Bytes: n, GapSec: gap})
+			remaining--
+		case "end":
+			if remaining != 0 {
+				return nil, fmt.Errorf("trace: rank %d short by %d events", rank, remaining)
+			}
+			sawEnd = true
+		default:
+			return nil, fmt.Errorf("trace: unrecognized line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	if !sawEnd {
+		return nil, fmt.Errorf("trace: missing end marker")
+	}
+	if rank != ranks-1 {
+		return nil, fmt.Errorf("trace: header names %d ranks, body has %d", ranks, rank+1)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func decodeBinary(data []byte) (*Trace, error) {
+	rd := bytes.NewReader(data[len(binaryMagic):])
+	uvarint := func() (uint64, error) { return binary.ReadUvarint(rd) }
+	str := func(max int) (string, error) {
+		n, err := uvarint()
+		if err != nil {
+			return "", err
+		}
+		if n > uint64(max) {
+			return "", fmt.Errorf("string of %d bytes", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(rd, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	fail := func(err error) (*Trace, error) { return nil, fmt.Errorf("trace: binary decode: %v", err) }
+	t := &Trace{}
+	var err error
+	if t.Iface, err = str(16); err != nil {
+		return fail(err)
+	}
+	if t.Label, err = str(128); err != nil {
+		return fail(err)
+	}
+	ranks, err := uvarint()
+	if err != nil {
+		return fail(err)
+	}
+	if ranks < 1 || ranks > MaxRanks {
+		return fail(fmt.Errorf("%d ranks", ranks))
+	}
+	t.Ranks = make([][]Event, ranks)
+	total := uint64(0)
+	for r := range t.Ranks {
+		n, err := uvarint()
+		if err != nil {
+			return fail(err)
+		}
+		total += n
+		if total > MaxEvents {
+			return fail(fmt.Errorf("more than %d events", MaxEvents))
+		}
+		evs := make([]Event, n)
+		for i := range evs {
+			flags, err := uvarint()
+			if err != nil {
+				return fail(err)
+			}
+			if flags > 1 {
+				return fail(fmt.Errorf("unknown event flags %#x", flags))
+			}
+			off, err := uvarint()
+			if err != nil {
+				return fail(err)
+			}
+			nb, err := uvarint()
+			if err != nil {
+				return fail(err)
+			}
+			var g [8]byte
+			if _, err := io.ReadFull(rd, g[:]); err != nil {
+				return fail(err)
+			}
+			if off > MaxOffset || nb > MaxOffset {
+				return fail(fmt.Errorf("extent out of range"))
+			}
+			evs[i] = Event{
+				Write:  flags == 1,
+				Off:    int64(off),
+				Bytes:  int64(nb),
+				GapSec: math.Float64frombits(binary.BigEndian.Uint64(g[:])),
+			}
+		}
+		t.Ranks[r] = evs
+	}
+	if rd.Len() != 0 {
+		return fail(fmt.Errorf("%d trailing bytes", rd.Len()))
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// FromCaptured assembles a Trace from per-rank captured operations (see
+// Recorder.SetCapture): each rank's ops become events in order, the gap of
+// an event being the idle span between the previous operation's end and
+// this one's start (clamped at zero — overlapped asynchronous completions
+// can observe negative spans).
+func FromCaptured(ranks [][]CapturedOp, iface, label string) *Trace {
+	t := &Trace{Iface: iface, Label: label, Ranks: make([][]Event, len(ranks))}
+	for r, ops := range ranks {
+		evs := make([]Event, 0, len(ops))
+		prevEnd := 0.0
+		for _, op := range ops {
+			gap := op.AtSec - prevEnd
+			if gap < 0 {
+				gap = 0
+			}
+			evs = append(evs, Event{Write: op.Op == Write, Off: op.Off, Bytes: op.Bytes, GapSec: gap})
+			prevEnd = op.AtSec + op.Sec
+		}
+		t.Ranks[r] = evs
+	}
+	return t
+}

@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// sample builds a small multi-rank trace exercising both ops, zero and
+// non-zero gaps, and unequal rank lengths.
+func sample() *Trace {
+	return &Trace{
+		Iface: "passion",
+		Label: "unit:sample",
+		Ranks: [][]Event{
+			{
+				{Write: false, Off: 0, Bytes: 4096, GapSec: 0},
+				{Write: true, Off: 4096, Bytes: 512, GapSec: 0.001},
+			},
+			{
+				{Write: true, Off: 1 << 20, Bytes: 65536, GapSec: 2.5e-5},
+			},
+		},
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	orig := sample()
+	enc := orig.EncodeText()
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("decode text: %v", err)
+	}
+	if got.Hash() != orig.Hash() {
+		t.Fatalf("text round-trip changed hash: %s != %s", got.Hash(), orig.Hash())
+	}
+	if got.Iface != orig.Iface || got.Label != orig.Label {
+		t.Fatalf("metadata lost: %q/%q", got.Iface, got.Label)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	orig := sample()
+	enc := orig.EncodeBinary()
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("decode binary: %v", err)
+	}
+	if !bytes.Equal(got.EncodeBinary(), enc) {
+		t.Fatal("binary encoding is not a fixed point of decode")
+	}
+	if got.Hash() != orig.Hash() {
+		t.Fatalf("binary round-trip changed hash")
+	}
+}
+
+func TestHashIsEncodingIndependent(t *testing.T) {
+	orig := sample()
+	viaText, err := Decode(orig.EncodeText())
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaBin, err := Decode(orig.EncodeBinary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaText.Hash() != viaBin.Hash() {
+		t.Fatalf("hash differs by transport encoding: %s != %s", viaText.Hash(), viaBin.Hash())
+	}
+	if len(orig.Hash()) != 64 || strings.ToLower(orig.Hash()) != orig.Hash() {
+		t.Fatalf("hash %q is not 64 lower-hex chars", orig.Hash())
+	}
+}
+
+func TestHashSensitivity(t *testing.T) {
+	a, b := sample(), sample()
+	b.Ranks[0][0].Bytes++
+	if a.Hash() == b.Hash() {
+		t.Fatal("hash blind to a byte-count change")
+	}
+	c := sample()
+	c.Label = "unit:other"
+	if a.Hash() == c.Hash() {
+		t.Fatal("hash blind to a label change")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"alien":        "GIF89a...",
+		"truncated":    "PTRT1 ranks=2\nrank 0 1\nr 0 10 0\n",
+		"bad op":       "PTRT1 ranks=1\nrank 0 1\nx 0 10 0\nend\n",
+		"neg offset":   "PTRT1 ranks=1\nrank 0 1\nr -5 10 0\nend\n",
+		"zero bytes":   "PTRT1 ranks=1\nrank 0 1\nr 0 0 0\nend\n",
+		"neg gap":      "PTRT1 ranks=1\nrank 0 1\nr 0 10 -1\nend\n",
+		"rank count":   "PTRT1 ranks=2\nrank 0 1\nr 0 10 0\nend\n",
+		"bad iface":    "PTRT1 ranks=1 iface=vms\nrank 0 1\nr 0 10 0\nend\n",
+		"trailing":     "PTRT1 ranks=1\nrank 0 1\nr 0 10 0\nend\ngarbage\n",
+		"huge ranks":   "PTRT1 ranks=99999999\nend\n",
+		"event count":  "PTRT1 ranks=1\nrank 0 3\nr 0 10 0\nend\n",
+		"rank reorder": "PTRT1 ranks=2\nrank 1 1\nr 0 10 0\nrank 0 1\nr 0 10 0\nend\n",
+	}
+	for name, in := range cases {
+		if tr, err := Decode([]byte(in)); err == nil {
+			t.Errorf("%s: decoded successfully: %+v", name, tr)
+		}
+	}
+}
+
+func TestDecodeNeverReturnsInvalid(t *testing.T) {
+	// Every successful decode must satisfy Validate — the property the
+	// fuzz target below also enforces over arbitrary inputs.
+	for _, enc := range [][]byte{sample().EncodeText(), sample().EncodeBinary()} {
+		tr, err := Decode(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("decoded trace fails Validate: %v", err)
+		}
+	}
+}
+
+func TestFromCapturedGaps(t *testing.T) {
+	ops := [][]CapturedOp{{
+		{Op: Read, AtSec: 0.5, Sec: 0.1, Off: 0, Bytes: 1024},
+		{Op: Write, AtSec: 1.0, Sec: 0.2, Off: 1024, Bytes: 2048},
+		{Op: Write, AtSec: 1.1, Sec: 0.1, Off: 3072, Bytes: 512}, // overlaps: clamp to 0
+	}}
+	tr := FromCaptured(ops, "native", "unit")
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	evs := tr.Ranks[0]
+	if evs[0].GapSec != 0.5 {
+		t.Fatalf("first gap = %g, want 0.5", evs[0].GapSec)
+	}
+	if g := evs[1].GapSec; g < 0.39 || g > 0.41 {
+		t.Fatalf("second gap = %g, want ~0.4", g)
+	}
+	if evs[2].GapSec != 0 {
+		t.Fatalf("overlapping op gap = %g, want clamped 0", evs[2].GapSec)
+	}
+	if evs[1].Write != true || evs[0].Write != false {
+		t.Fatal("op kinds lost in capture conversion")
+	}
+}
+
+func TestGeneratorsProduceValidDeterministicTraces(t *testing.T) {
+	for _, name := range Adversaries {
+		a := Generate(name, 4, 32, 7)
+		if a == nil {
+			t.Fatalf("%s: nil trace", name)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.Events() == 0 || a.Bytes() == 0 {
+			t.Fatalf("%s: empty trace", name)
+		}
+		b := Generate(name, 4, 32, 7)
+		if a.Hash() != b.Hash() {
+			t.Fatalf("%s: not deterministic for a fixed seed", name)
+		}
+		if rt, err := Decode(a.EncodeText()); err != nil || rt.Hash() != a.Hash() {
+			t.Fatalf("%s: text round-trip: %v", name, err)
+		}
+	}
+	if Generate("nosuch", 4, 32, 7) != nil {
+		t.Fatal("unknown generator produced a trace")
+	}
+}
+
+// FuzzDecode drives the decoder with arbitrary bytes: it must never
+// panic, and any input it accepts must validate and round-trip through
+// the canonical binary encoding onto the same hash.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte(sample().EncodeText()))
+	f.Add(sample().EncodeBinary())
+	f.Add([]byte("PTRT1 ranks=1\nrank 0 1\nw 0 512 0.25\nend\n"))
+	f.Add([]byte("PTRB1\x00"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if verr := tr.Validate(); verr != nil {
+			t.Fatalf("accepted trace fails Validate: %v", verr)
+		}
+		rt, err := Decode(tr.EncodeBinary())
+		if err != nil {
+			t.Fatalf("canonical re-decode failed: %v", err)
+		}
+		if rt.Hash() != tr.Hash() {
+			t.Fatal("canonical round-trip changed the hash")
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package trace
+
+import "pario/internal/sim"
+
+// Adversarial trace generators: synthetic workloads that are deliberately
+// hostile to the I/O stack — the patterns interface-level optimization
+// exists to absorb (Thakur et al., noncontiguous/small-request access).
+// All generators are deterministic in their arguments; the same call
+// always yields the same trace and hence the same hash.
+
+// Adversaries names the built-in generators for CLI -adversary flags.
+var Adversaries = []string{"smallwrites", "appendstorm", "checkpoint"}
+
+// Generate builds the named adversarial trace with defaults scaled by
+// ranks and events-per-rank. Unknown names return nil.
+func Generate(name string, ranks, events int, seed uint64) *Trace {
+	switch name {
+	case "smallwrites":
+		return RandomSmallWrites(ranks, events, int64(ranks)*8<<20, 512, seed)
+	case "appendstorm":
+		return AppendStorm(ranks, events, 2048)
+	case "checkpoint":
+		rounds := events / 4
+		if rounds < 1 {
+			rounds = 1
+		}
+		return CheckpointBurst(ranks, rounds, 4<<20, 0.25)
+	}
+	return nil
+}
+
+// RandomSmallWrites scatters per-rank small writes uniformly over a shared
+// file of fileBytes — the seek-dominated pattern that defeats every cache.
+// Offsets are aligned to reqBytes and drawn without modulo bias.
+func RandomSmallWrites(ranks, events int, fileBytes, reqBytes int64, seed uint64) *Trace {
+	if reqBytes <= 0 {
+		reqBytes = 512
+	}
+	if fileBytes < reqBytes {
+		fileBytes = reqBytes
+	}
+	slots := uint64(fileBytes / reqBytes)
+	t := &Trace{Label: "adversary:smallwrites", Ranks: make([][]Event, ranks)}
+	rng := sim.NewRNG(seed ^ 0x5ca1ab1e)
+	for r := range t.Ranks {
+		rr := rng.Split()
+		evs := make([]Event, events)
+		for i := range evs {
+			evs[i] = Event{
+				Write: true,
+				Off:   int64(rr.Uint64n(slots)) * reqBytes,
+				Bytes: reqBytes,
+				// A sliver of compute between writes: enough to keep the
+				// pattern latency-bound rather than a pure burst.
+				GapSec: 20e-6,
+			}
+		}
+		t.Ranks[r] = evs
+	}
+	return t
+}
+
+// AppendStorm interleaves all ranks appending to one shared file: rank r's
+// i-th write lands at slot i*ranks+r, the classic contended tail pattern.
+// Fully deterministic with no random draws.
+func AppendStorm(ranks, events int, reqBytes int64) *Trace {
+	if reqBytes <= 0 {
+		reqBytes = 2048
+	}
+	t := &Trace{Label: "adversary:appendstorm", Ranks: make([][]Event, ranks)}
+	for r := range t.Ranks {
+		evs := make([]Event, events)
+		for i := range evs {
+			evs[i] = Event{
+				Write: true,
+				Off:   (int64(i)*int64(ranks) + int64(r)) * reqBytes,
+				Bytes: reqBytes,
+			}
+		}
+		t.Ranks[r] = evs
+	}
+	return t
+}
+
+// CheckpointBurst models checkpoint/restart: every rank first reads its
+// partition back (restart), then per round computes for computeSec and
+// dumps its partition in one contiguous write (checkpoint). All ranks
+// burst at once — the bandwidth spike checkpointing is notorious for.
+func CheckpointBurst(ranks, rounds int, chunkBytes int64, computeSec float64) *Trace {
+	if chunkBytes <= 0 {
+		chunkBytes = 4 << 20
+	}
+	if computeSec < 0 {
+		computeSec = 0
+	}
+	t := &Trace{Label: "adversary:checkpoint", Ranks: make([][]Event, ranks)}
+	for r := range t.Ranks {
+		evs := make([]Event, 0, rounds+1)
+		off := int64(r) * chunkBytes
+		evs = append(evs, Event{Off: off, Bytes: chunkBytes}) // restart read
+		for i := 0; i < rounds; i++ {
+			evs = append(evs, Event{Write: true, Off: off, Bytes: chunkBytes, GapSec: computeSec})
+		}
+		t.Ranks[r] = evs
+	}
+	return t
+}

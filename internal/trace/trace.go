@@ -69,9 +69,13 @@ func (s OpStats) MeanSec() float64 {
 const histBuckets = 32
 
 // Recorder accumulates operation statistics, typically one per rank.
+// With SetCapture(true) it additionally logs every data operation with
+// its offset and issue time (see capture.go), feeding FromCaptured.
 type Recorder struct {
-	ops  [numOps]OpStats
-	hist [numOps][histBuckets]int64
+	ops      [numOps]OpStats
+	hist     [numOps][histBuckets]int64
+	capture  bool
+	captured []CapturedOp
 }
 
 // bucketOf maps a latency to its log2-microsecond bucket.

@@ -1,0 +1,44 @@
+package workload
+
+import (
+	"fmt"
+
+	"pario/internal/sim"
+	"pario/internal/trace"
+)
+
+// Trace expands the spec into a replayable per-rank trace: each of ranks
+// streams is an independent expansion of the spec (per-rank seeds derived
+// from Spec.Seed), every event carrying computeSec of compute gap. This is
+// the `iogen -emit-trace` path — any synthetic workload becomes a
+// servable trace citizen.
+func (s Spec) Trace(ranks int, computeSec float64) (*trace.Trace, error) {
+	if ranks < 1 {
+		return nil, fmt.Errorf("workload: trace needs >= 1 rank, got %d", ranks)
+	}
+	if computeSec < 0 {
+		computeSec = 0
+	}
+	t := &trace.Trace{
+		Label: "iogen:" + s.Pattern.String(),
+		Ranks: make([][]trace.Event, ranks),
+	}
+	seeds := sim.NewRNG(s.Seed)
+	for r := 0; r < ranks; r++ {
+		rs := s
+		rs.Seed = seeds.Uint64()
+		reqs, err := rs.Requests()
+		if err != nil {
+			return nil, err
+		}
+		evs := make([]trace.Event, len(reqs))
+		for i, rq := range reqs {
+			evs[i] = trace.Event{Write: rq.Write, Off: rq.Off, Bytes: rq.Len, GapSec: computeSec}
+		}
+		t.Ranks[r] = evs
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,36 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseSize parses a byte size with an optional binary suffix: "64",
+// "64K", "4M", "1G" (case-insensitive). It rejects negatives, garbage,
+// and values whose suffix multiplication would overflow int64 — the
+// one hardened parser shared by iogen and the trace tooling.
+func ParseSize(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "G"):
+		mult, t = 1<<30, t[:len(t)-1]
+	case strings.HasSuffix(t, "M"):
+		mult, t = 1<<20, t[:len(t)-1]
+	case strings.HasSuffix(t, "K"):
+		mult, t = 1<<10, t[:len(t)-1]
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("workload: bad size %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("workload: negative size %q", s)
+	}
+	if v > math.MaxInt64/mult {
+		return 0, fmt.Errorf("workload: size %q overflows", s)
+	}
+	return v * mult, nil
+}

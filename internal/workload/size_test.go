@@ -1,0 +1,58 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseSizeValues(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"0", 0},
+		{"64", 64},
+		{"64K", 64 << 10},
+		{"64k", 64 << 10},
+		{"4M", 4 << 20},
+		{"1G", 1 << 30},
+		{" 16M ", 16 << 20},
+		{"8589934591", 8589934591}, // plain bytes, no suffix
+	}
+	for _, c := range cases {
+		got, err := ParseSize(c.in)
+		if err != nil {
+			t.Errorf("ParseSize(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseSizeRejects(t *testing.T) {
+	bad := []string{
+		"", "abc", "12Q", "1.5M", "M", "--4",
+		"-1", "-64K", // negative sizes
+		"9223372036854775807K", // overflows on the multiplier
+		"9999999999999999999",  // overflows int64 outright
+		"10000000000G",
+	}
+	for _, in := range bad {
+		if v, err := ParseSize(in); err == nil {
+			t.Errorf("ParseSize(%q) = %d, want error", in, v)
+		}
+	}
+}
+
+func TestParseSizeOverflowBoundary(t *testing.T) {
+	// The largest representable suffixed values parse; one unit more errors.
+	maxG := math.MaxInt64 / (1 << 30)
+	if _, err := ParseSize("8589934591G"); err != nil && int64(8589934591) <= int64(maxG) {
+		t.Errorf("max G value rejected: %v", err)
+	}
+	if _, err := ParseSize("8589934592G"); err == nil {
+		t.Error("overflowing G value accepted")
+	}
+}

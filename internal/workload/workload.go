@@ -114,11 +114,21 @@ func (s Spec) Requests() ([]Request, error) {
 		hotLen = s.RequestBytes
 	}
 	rng := sim.NewRNG(s.Seed)
-	align := func(v int64) int64 { return v - v%s.RequestBytes }
+	// draw returns an unbiased aligned offset in [lo, lo+span] (span >= 0,
+	// both aligned): one slot per RequestBytes, picked with Uint64n so no
+	// modulo bias favours the low slots.
+	draw := func(lo, span int64) int64 {
+		return lo + int64(rng.Uint64n(uint64(span/s.RequestBytes)+1))*s.RequestBytes
+	}
 	maxOff := extent - s.RequestBytes
 	if maxOff < 0 {
 		maxOff = 0
 	}
+	maxOff -= maxOff % s.RequestBytes
+	// coldLo is the first aligned offset fully past the hot region — where
+	// Hotspot's cold draws start, so they never land inside the hot region
+	// and inflate the effective hot fraction.
+	coldLo := hotLen + (s.RequestBytes-hotLen%s.RequestBytes)%s.RequestBytes
 
 	reqs := make([]Request, 0, n)
 	remaining := s.TotalBytes
@@ -138,19 +148,22 @@ func (s Spec) Requests() ([]Request, error) {
 			pos += size + s.Stride
 		case Random:
 			if maxOff > 0 {
-				off = align(int64(rng.Uint64() % uint64(maxOff+1)))
+				off = draw(0, maxOff)
 			}
 		case Hotspot:
-			if rng.Float64() < hotFrac {
-				hotMax := hotLen - size
-				if hotMax < 0 {
-					hotMax = 0
-				}
+			hotMax := hotLen - size
+			if hotMax < 0 {
+				hotMax = 0
+			}
+			hotMax -= hotMax % s.RequestBytes
+			if rng.Float64() < hotFrac || coldLo > maxOff {
+				// Hot draw — also the fallback when the extent leaves no
+				// room outside the hot region.
 				if hotMax > 0 {
-					off = align(int64(rng.Uint64() % uint64(hotMax+1)))
+					off = draw(0, hotMax)
 				}
-			} else if maxOff > 0 {
-				off = align(int64(rng.Uint64() % uint64(maxOff+1)))
+			} else {
+				off = draw(coldLo, maxOff-coldLo)
 			}
 		}
 		reqs = append(reqs, Request{

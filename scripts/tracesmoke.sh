@@ -1,0 +1,112 @@
+#!/bin/sh
+# tracesmoke.sh — end-to-end smoke of the trace round-trip: capture a real
+# application's I/O log, serve it through pariod by content hash, and prove
+# replays are first-class cached citizens.
+#
+# Usage:
+#   scripts/tracesmoke.sh
+#
+# Walks the trace contract:
+#   1. iotrace -capture writes a replayable trace of a real fft run, and
+#      iogen -emit-trace / -adversary produce valid trace files whose
+#      printed hash matches what the server registers
+#   2. POST /trace registers the capture and answers its content hash;
+#      GET /trace serves back the byte-identical canonical text encoding
+#   3. /run {"app":"trace","trace":<hash>} replays cold exactly once (miss,
+#      runs_total +1) and the repeat is a cache hit with runs_total pinned —
+#      a served trace never re-simulates
+#   4. iosim -trace on the same file produces the byte-identical JSON body
+#      the daemon serves for the uploaded copy
+#   5. an unknown hash answers a structured 404 (trace_unknown) without
+#      consuming a run; a trace sweep covers iface x opt in one request
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+echo "tracesmoke: building..."
+go build -o "$tmp/pariod" ./cmd/pariod
+go build -o "$tmp/iotrace" ./cmd/iotrace
+go build -o "$tmp/iogen" ./cmd/iogen
+go build -o "$tmp/iosim" ./cmd/iosim
+
+# 1. Capture a real run and generate synthetic/adversarial traces.
+"$tmp/iotrace" -app fft -procs 4 -capture "$tmp/fft.ptrt" >"$tmp/iotrace.out"
+cap_hash=$(sed -n 's/^trace:\([0-9a-f]\{64\}\)$/\1/p' "$tmp/iotrace.out")
+[ -n "$cap_hash" ] || { echo "tracesmoke: FAIL: iotrace printed no capture hash"; cat "$tmp/iotrace.out"; exit 1; }
+"$tmp/iogen" -pattern hotspot -total 2M -req 16K -writefrac 0.25 -procs 4 -emit-trace "$tmp/hot.ptrt" >/dev/null
+"$tmp/iogen" -adversary appendstorm -procs 4 -events 64 -emit-trace "$tmp/storm.ptrt" >"$tmp/iogen.out"
+storm_hash=$(sed -n 's/^trace:\([0-9a-f]\{64\}\)$/\1/p' "$tmp/iogen.out")
+[ -n "$storm_hash" ] || { echo "tracesmoke: FAIL: iogen printed no trace hash"; exit 1; }
+echo "tracesmoke: captured fft ($cap_hash) and generated adversary traces"
+
+"$tmp/pariod" -addr 127.0.0.1:0 -workers 4 >"$tmp/pariod.log" 2>&1 &
+daemon_pid=$!
+base=""
+for _ in $(seq 1 100); do
+    base=$(sed -n 's,^pariod: listening on \(http://[^ ]*\)$,\1,p' "$tmp/pariod.log")
+    [ -n "$base" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { cat "$tmp/pariod.log"; echo "tracesmoke: FAIL: daemon died on startup"; exit 1; }
+    sleep 0.1
+done
+[ -n "$base" ] || { echo "tracesmoke: FAIL: daemon never bound"; exit 1; }
+echo "tracesmoke: daemon up at $base"
+
+metric() {
+    curl -fsS "$base/metrics" | sed -n "s/.*\"$1\": *\([0-9]*\).*/\1/p"
+}
+
+# 2. Upload: the server registers the capture under the hash the CLI printed,
+# and serves the canonical text encoding back byte-identical.
+curl -fsS -X POST --data-binary @"$tmp/fft.ptrt" "$base/trace" >"$tmp/up.json"
+grep -q "\"trace\":\"$cap_hash\"" "$tmp/up.json" || { echo "tracesmoke: FAIL: upload hash mismatch"; cat "$tmp/up.json"; exit 1; }
+curl -fsS "$base/trace?trace=$cap_hash" -o "$tmp/fft.echo"
+cmp -s "$tmp/fft.ptrt" "$tmp/fft.echo" || { echo "tracesmoke: FAIL: GET /trace is not byte-identical to the upload"; exit 1; }
+echo "tracesmoke: upload registered as trace:$cap_hash, download byte-identical"
+
+# 3. Replay by hash: cold exactly once, repeat all cache hits, runs pinned.
+curl -fsS -D "$tmp/h1" -o "$tmp/r1" -X POST -H 'Content-Type: application/json' \
+    -d "{\"app\":\"trace\",\"trace\":\"$cap_hash\",\"version\":\"passion\",\"opt\":true}" "$base/run"
+grep -qi '^x-pario-cache: miss' "$tmp/h1" || { echo "tracesmoke: FAIL: cold replay not a miss"; cat "$tmp/h1"; exit 1; }
+[ "$(metric runs_total)" = 1 ] || { echo "tracesmoke: FAIL: cold replay did not simulate exactly once"; exit 1; }
+curl -fsS -D "$tmp/h2" -o "$tmp/r2" -X POST -H 'Content-Type: application/json' \
+    -d "{\"app\":\"trace\",\"trace\":\"$cap_hash\",\"version\":\"passion\",\"opt\":true}" "$base/run"
+grep -qi '^x-pario-cache: hit' "$tmp/h2" || { echo "tracesmoke: FAIL: repeat replay not a hit"; cat "$tmp/h2"; exit 1; }
+cmp -s "$tmp/r1" "$tmp/r2" || { echo "tracesmoke: FAIL: replay bodies differ"; exit 1; }
+[ "$(metric runs_total)" = 1 ] || { echo "tracesmoke: FAIL: repeat replay re-simulated"; exit 1; }
+echo "tracesmoke: replay cold miss then hit, runs_total pinned at 1"
+
+# 4. CLI/server parity: iosim -trace answers the byte-identical JSON body.
+"$tmp/iosim" -trace "$tmp/fft.ptrt" -version passion -opt -json >"$tmp/cli.json"
+cmp -s "$tmp/cli.json" "$tmp/r1" || { echo "tracesmoke: FAIL: iosim -trace body differs from the daemon's"; exit 1; }
+echo "tracesmoke: iosim -trace and pariod bodies byte-identical"
+
+# 5. Unknown hash is a structured 404 that consumes no run; a sweep covers
+# the iface x opt grid over one uploaded trace.
+ghost=$(printf 'a%.0s' $(seq 1 64))
+status=$(curl -sS -o "$tmp/e404" -w '%{http_code}' -X POST -H 'Content-Type: application/json' \
+    -d "{\"app\":\"trace\",\"trace\":\"$ghost\"}" "$base/run")
+[ "$status" = 404 ] || { echo "tracesmoke: FAIL: unknown trace answered $status, want 404"; cat "$tmp/e404"; exit 1; }
+grep -q '"class":"trace_unknown"' "$tmp/e404" || { echo "tracesmoke: FAIL: 404 body lacks trace_unknown class"; cat "$tmp/e404"; exit 1; }
+[ "$(metric runs_total)" = 1 ] || { echo "tracesmoke: FAIL: unknown trace consumed a run"; exit 1; }
+
+curl -fsS -X POST --data-binary @"$tmp/storm.ptrt" "$base/trace" >/dev/null
+curl -fsS "$base/sweep?app=trace&trace=$storm_hash&version=fortran,passion,native&opt=both" >"$tmp/sweep.out"
+nlines=$(wc -l <"$tmp/sweep.out")
+[ "$nlines" = 7 ] || { echo "tracesmoke: FAIL: trace sweep streamed $nlines lines, want 6 points + summary"; cat "$tmp/sweep.out"; exit 1; }
+grep -q '"done":true' "$tmp/sweep.out" || { echo "tracesmoke: FAIL: no sweep summary"; exit 1; }
+echo "tracesmoke: unknown hash 404s cleanly; adversary sweep covered iface x opt"
+
+kill -TERM "$daemon_pid"
+rc=0
+wait "$daemon_pid" || rc=$?
+daemon_pid=""
+[ "$rc" = 0 ] || { echo "tracesmoke: FAIL: daemon exited $rc"; cat "$tmp/pariod.log"; exit 1; }
+echo "tracesmoke: OK"
